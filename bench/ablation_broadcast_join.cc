@@ -1,0 +1,93 @@
+// Ablation: broadcast join vs global-index join (§III-B expressibility —
+// "broadcast joins can be expressed by passing a null value to the
+// partition information of the pointer").
+//
+// The Fig 3/4 Part-Lineitem join routed two ways: the l_partkey pointer is
+// either hash-routed to exactly the index partition holding the key
+// (global-index join) or replicated to every partition (broadcast join).
+// Results are identical; the cost profile differs — broadcast multiplies
+// index probes and network messages by the partition count.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/part_join.h"
+#include "tpch/schema.h"
+
+using namespace lakeharbor;  // NOLINT — bench brevity
+
+int main() {
+  bench::BenchClusterConfig cluster_config;
+  sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
+  rede::EngineOptions engine_options;
+  engine_options.smpe.threads_per_node = 125;
+  rede::Engine engine(&cluster, engine_options);
+
+  tpch::TpchConfig config;
+  config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::LoadOptions load;
+  load.build_part_join_indexes = true;
+  load.partitions = cluster.num_nodes() * 2;
+  LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+
+  // Membership structure over the l_partkey index partitions, for the
+  // bloom-assisted broadcast variant.
+  auto idx_for_bloom = std::dynamic_pointer_cast<io::PartitionedFile>(
+      *engine.catalog().Get(tpch::names::kLineitemPartKeyIndex));
+  LH_CHECK(idx_for_bloom != nullptr);
+  auto bloom_result = index::PartitionBloom::Build(*idx_for_bloom);
+  LH_CHECK(bloom_result.ok());
+  auto bloom = std::make_shared<const index::PartitionBloom>(
+      std::move(*bloom_result));
+
+  bench::PrintHeader(
+      "Ablation — broadcast join vs global-index join (Part-Lineitem)");
+  std::printf("%-14s %-16s %10s %10s %12s %14s %12s %12s\n", "price-range",
+              "routing", "rows", "wall-ms", "broadcasts", "net-messages",
+              "idx-probes", "bloom-skips");
+
+  cluster.SetTimingEnabled(true);
+  for (double width : {0.5, 2.0, 8.0}) {
+    for (int variant = 0; variant < 3; ++variant) {
+      tpch::PartJoinParams params;
+      params.price_lo = 900.0;
+      params.price_hi = 900.0 + width;
+      params.broadcast = variant > 0;
+      if (variant == 2) params.index_bloom = bloom;
+      auto job = tpch::BuildPartLineitemJoinJob(engine, params);
+      LH_CHECK(job.ok());
+      engine.catalog().ResetAccessStats();
+      cluster.ResetStats();
+      uint64_t rows = 0;
+      auto result =
+          engine.Execute(*job, rede::ExecutionMode::kSmpe,
+                         [&rows](const rede::Tuple&) { ++rows; });
+      LH_CHECK(result.ok());
+      auto idx = *engine.catalog().Get(tpch::names::kLineitemPartKeyIndex);
+      const char* label = variant == 0   ? "global"
+                          : variant == 1 ? "broadcast"
+                                         : "broadcast+bloom";
+      std::printf("%-14.1f %-16s %10llu %10.2f %12llu %14llu %12llu %12llu\n",
+                  width, label, static_cast<unsigned long long>(rows),
+                  result->metrics.wall_ms,
+                  static_cast<unsigned long long>(result->metrics.broadcasts),
+                  static_cast<unsigned long long>(
+                      cluster.TotalStats().network_messages),
+                  static_cast<unsigned long long>(
+                      idx->access_stats().lookups.load()),
+                  static_cast<unsigned long long>(
+                      idx->access_stats().bloom_skips.load()));
+    }
+  }
+  std::printf(
+      "\nExpected shape: identical row counts; the plain broadcast plan "
+      "pays ~partition-count times the index probes and extra network "
+      "messages; a per-partition membership structure claws most of those "
+      "probes back, leaving broadcast viable when the partitioning key "
+      "does not match the join key.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: cluster scale-out — the "scalable" in scalable massively
+// parallel execution. The paper's testbed fixed 128 nodes; this sweep
+// grows the simulated cluster at a fixed Q5' workload and shows how each
+// system's time responds to added nodes:
+//   - the scan baseline and SMPE both scale out (more disks, more
+//     bandwidth, more concurrent I/O slots);
+//   - ReDe w/o SMPE barely moves once per-node work is serial — its
+//     parallelism is pinned to the partition count, which is the point of
+//     Fig 7's contrast.
+
+#include <cstdio>
+
+#include "baseline/scan_engine.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/q5.h"
+
+using namespace lakeharbor;  // NOLINT — bench brevity
+
+int main() {
+  tpch::TpchConfig config;
+  config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::Q5Params params = tpch::MakeQ5Params(0.1);
+
+  bench::PrintHeader("Ablation — cluster scale-out at fixed work (Q5', sel=0.1)");
+  std::printf("%-8s %14s %16s %16s %10s\n", "nodes", "baseline-ms",
+              "rede-w/o-smpe", "rede-w/-smpe", "peak-par");
+
+  for (uint32_t nodes : {2, 4, 8, 16}) {
+    bench::BenchClusterConfig cluster_config;
+    cluster_config.num_nodes = nodes;
+    sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
+    rede::EngineOptions engine_options;
+    engine_options.smpe.threads_per_node = 64;
+    rede::Engine engine(&cluster, engine_options);
+    tpch::LoadOptions load;
+    load.partitions = nodes * 2;
+    LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+    baseline::ScanEngine scan_engine(&cluster);
+    cluster.SetTimingEnabled(true);
+
+    StopWatch scan_watch;
+    LH_CHECK(tpch::RunQ5Baseline(scan_engine, engine.catalog(), params).ok());
+    double baseline_ms = scan_watch.ElapsedMillis();
+
+    auto job = tpch::BuildQ5RedeJob(engine, params);
+    LH_CHECK(job.ok());
+    auto partitioned =
+        engine.Execute(*job, rede::ExecutionMode::kPartitioned, nullptr);
+    LH_CHECK(partitioned.ok());
+    auto smpe = engine.Execute(*job, rede::ExecutionMode::kSmpe, nullptr);
+    LH_CHECK(smpe.ok());
+
+    std::printf("%-8u %14.2f %16.2f %16.2f %10lld\n", nodes, baseline_ms,
+                partitioned->metrics.wall_ms, smpe->metrics.wall_ms,
+                static_cast<long long>(smpe->metrics.peak_parallel_derefs));
+  }
+  std::printf(
+      "\nExpected shape: the baseline and rede-w/o-smpe shrink with the "
+      "node count (more aggregate bandwidth; more partition workers), while "
+      "SMPE is already near its floor at small clusters — at this "
+      "down-scaled workload a couple of hundred concurrent I/Os saturate "
+      "the job's available parallelism, so extra nodes buy little (the "
+      "strong-scaling limit). SMPE stays the fastest at every size.\n");
+  return 0;
+}

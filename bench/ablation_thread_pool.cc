@@ -1,0 +1,64 @@
+// Ablation: SMPE thread-pool size (§III-C — the prototype defaults to 1000
+// threads, "adjusted based on underlying hardware capabilities such as the
+// number of CPU cores and the IOPS of the IO path").
+//
+// Sweeps threads-per-node for a fixed mid-selectivity Q5' job. Expected
+// shape: wall time falls as the pool grows until the simulated devices
+// saturate (num_nodes * io_slots concurrent I/Os), then flattens.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rede/smpe_executor.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/q5.h"
+
+using namespace lakeharbor;  // NOLINT — bench brevity
+
+int main() {
+  bench::BenchClusterConfig cluster_config;
+  sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
+  rede::Engine engine(&cluster);
+
+  tpch::TpchConfig config;
+  config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::LoadOptions load;
+  load.partitions = cluster.num_nodes() * 2;
+  LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+
+  tpch::Q5Params params = tpch::MakeQ5Params(0.1);
+  auto job = tpch::BuildQ5RedeJob(engine, params);
+  LH_CHECK(job.ok());
+
+  bench::PrintHeader("Ablation — SMPE thread-pool size sweep (Q5', sel=0.1)");
+  std::printf("device saturation point: %u nodes x %zu io-slots = %zu "
+              "concurrent I/Os\n\n",
+              cluster.num_nodes(), cluster_config.io_slots,
+              cluster.num_nodes() * cluster_config.io_slots);
+  std::printf("%-18s %12s %12s %10s\n", "threads/node", "wall-ms", "rows",
+              "peak-par");
+
+  cluster.SetTimingEnabled(true);
+  for (size_t threads : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    rede::SmpeOptions options;
+    options.threads_per_node = threads;
+    rede::SmpeExecutor executor(&cluster, options);
+    uint64_t rows = 0;
+    auto result =
+        executor.Execute(*job, [&rows](const rede::Tuple&) { ++rows; });
+    LH_CHECK(result.ok());
+    std::printf("%-18zu %12.2f %12llu %10lld\n", threads,
+                result->metrics.wall_ms,
+                static_cast<unsigned long long>(rows),
+                static_cast<long long>(result->metrics.peak_parallel_derefs));
+  }
+  std::printf(
+      "\nExpected shape: time drops steeply while the pool is the "
+      "bottleneck and bottoms out once peak parallelism reaches device "
+      "saturation; far larger pools slowly degrade again from scheduling "
+      "and queue contention — which is why the paper notes the pool size "
+      "should be 'adjusted based on underlying hardware capabilities'.\n");
+  return 0;
+}

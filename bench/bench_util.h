@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/cluster.h"
+
+/// \file bench_util.h
+/// Shared setup for the figure-reproduction harnesses. The cluster model
+/// scales the paper's testbed (128 nodes, 24-HDD RAID per node, 10 GbE)
+/// down to laptop size while keeping the ratio that drives Fig 7: deep
+/// device queues make random reads cheap *in aggregate* relative to full
+/// scans, until random-read volume grows past the scan cost.
+
+namespace lakeharbor::bench {
+
+struct BenchClusterConfig {
+  uint32_t num_nodes = 8;
+  size_t io_slots = 24;                ///< spindle-level parallelism per node
+  uint64_t random_read_latency_us = 500;
+  uint64_t scan_bandwidth_bytes_per_sec = 5ull * 1024 * 1024 / 2;
+  uint64_t network_latency_us = 30;
+};
+
+inline sim::ClusterOptions MakeClusterOptions(const BenchClusterConfig& c) {
+  sim::ClusterOptions options;
+  options.num_nodes = c.num_nodes;
+  options.disk.io_slots = c.io_slots;
+  options.disk.random_read_latency_us = c.random_read_latency_us;
+  options.disk.scan_bandwidth_bytes_per_sec = c.scan_bandwidth_bytes_per_sec;
+  options.disk.scan_chunk_bytes = 256 * 1024;
+  options.network.message_latency_us = c.network_latency_us;
+  // Timing stays off for loading; benches flip it on for measured phases.
+  options.EnableTiming(false);
+  return options;
+}
+
+/// Environment-variable override for quick experiments, e.g.
+/// LH_BENCH_NODES=16 ./build/bench/fig7_tpch_q5
+inline double EnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lakeharbor::bench

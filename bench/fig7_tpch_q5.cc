@@ -1,0 +1,115 @@
+// Reproduces Fig 7: "Performance comparison between a data lake system and
+// a LakeHarbor system (ReDe)" — TPC-H Q5' execution time vs selectivity for
+//   - Impala-like baseline (full scans + grace hash joins, no indexes),
+//   - ReDe w/o SMPE     (structures + partitioned parallelism only),
+//   - ReDe w/ SMPE      (structures + scalable massively parallel exec).
+//
+// The paper ran SF=128K on 128 HDD-array nodes; this harness runs a scaled
+// configuration on the simulated cluster (see DESIGN.md §3). Absolute times
+// differ from the paper by construction; the *shape* is the reproduction
+// target: SMPE wins by ~an order of magnitude over the low/mid selectivity
+// range, w/o-SMPE barely beats the baseline and only at the lowest
+// selectivities, and both ReDe variants lose to the scan-based plan once
+// selectivity is high.
+//
+// Env overrides: LH_BENCH_NODES, LH_BENCH_SF, LH_BENCH_THREADS.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/scan_engine.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/q5.h"
+
+using namespace lakeharbor;  // NOLINT — bench brevity
+
+int main() {
+  bench::BenchClusterConfig cluster_config;
+  cluster_config.num_nodes =
+      static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
+  sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
+
+  rede::EngineOptions engine_options;
+  engine_options.smpe.threads_per_node =
+      static_cast<size_t>(bench::EnvOr("LH_BENCH_THREADS", 125));
+  rede::Engine engine(&cluster, engine_options);
+
+  tpch::TpchConfig config;
+  config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::LoadOptions load;
+  load.partitions = cluster.num_nodes() * 2;
+  LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+
+  baseline::ScanEngine scan_engine(&cluster);
+
+  bench::PrintHeader(
+      "Fig 7 — TPC-H Q5' execution time vs selectivity (log-log in paper)");
+  std::printf("nodes=%u  SF=%.4f  orders=%zu  lineitem=%zu  "
+              "smpe-threads/node=%zu\n\n",
+              cluster.num_nodes(), config.scale_factor, data.orders.size(),
+              data.lineitem.size(), engine_options.smpe.threads_per_node);
+  std::printf("%-12s %-22s %12s %12s %14s %10s\n", "selectivity", "system",
+              "wall-ms", "rows", "rec-accesses", "peak-par");
+
+  const double selectivities[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                  3e-2, 1e-1, 3e-1, 1.0};
+  cluster.SetTimingEnabled(true);
+  for (double selectivity : selectivities) {
+    tpch::Q5Params params = tpch::MakeQ5Params(selectivity);
+    double baseline_ms = 0.0;
+
+    // --- Impala-like baseline -------------------------------------------
+    {
+      engine.catalog().ResetAccessStats();
+      StopWatch watch;
+      auto rows = tpch::RunQ5Baseline(scan_engine, engine.catalog(), params);
+      LH_CHECK(rows.ok());
+      baseline_ms = watch.ElapsedMillis();
+      std::printf("%-12.1e %-22s %12.2f %12zu %14llu %10s\n", selectivity,
+                  "impala-baseline", baseline_ms, rows->size(),
+                  static_cast<unsigned long long>(
+                      engine.catalog().TotalRecordAccesses()),
+                  "-");
+    }
+
+    // --- ReDe w/o SMPE and w/ SMPE --------------------------------------
+    auto job = tpch::BuildQ5RedeJob(engine, params);
+    LH_CHECK(job.ok());
+    for (auto mode :
+         {rede::ExecutionMode::kPartitioned, rede::ExecutionMode::kSmpe}) {
+      engine.catalog().ResetAccessStats();
+      uint64_t rows = 0;
+      auto result = engine.Execute(*job, mode,
+                                   [&rows](const rede::Tuple&) { ++rows; });
+      LH_CHECK(result.ok());
+      const char* label = mode == rede::ExecutionMode::kSmpe
+                              ? "rede-w/-smpe"
+                              : "rede-w/o-smpe";
+      std::printf("%-12.1e %-22s %12.2f %12llu %14llu %10lld", selectivity,
+                  label, result->metrics.wall_ms,
+                  static_cast<unsigned long long>(rows),
+                  static_cast<unsigned long long>(
+                      engine.catalog().TotalRecordAccesses()),
+                  static_cast<long long>(
+                      result->metrics.peak_parallel_derefs));
+      if (mode == rede::ExecutionMode::kSmpe && result->metrics.wall_ms > 0) {
+        std::printf("   (%.1fx vs baseline)",
+                    baseline_ms / result->metrics.wall_ms);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: rede-w/-smpe >=10x faster than the baseline across "
+      "low/mid selectivities; rede-w/o-smpe only marginally better than the "
+      "baseline at the lowest selectivities; both ReDe variants cross over "
+      "and lose at high selectivity (no query optimizer fallback, as the "
+      "paper notes).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's §IV case study: Japanese health-insurance claims analytics.
+//
+// The same synthetic claims dataset is deployed twice:
+//   - raw in a LakeHarbor lake (one nested, dynamically-typed record per
+//     claim + a post-hoc disease-code structure), and
+//   - normalized into a warehouse schema (claims / diagnosis /
+//     prescription / treatment tables + the indexes a fine-grained
+//     massively parallel warehouse would use).
+// Queries Q1-Q3 ("sum expenses of claims diagnosing D and prescribing M")
+// run on both; the record-access counts show why the raw deployment wins
+// (Fig 9): schema-on-read eliminates the joins normalization forces.
+//
+// Build & run:  ./build/examples/healthcare_claims
+
+#include <cstdio>
+
+#include "claims/fhir.h"
+#include "claims/loader.h"
+#include "claims/queries.h"
+
+using namespace lakeharbor;  // NOLINT — example brevity
+
+int main() {
+  claims::ClaimsConfig config;
+  config.num_claims = 20000;
+  std::printf("generating %llu synthetic insurance claims ...\n",
+              static_cast<unsigned long long>(config.num_claims));
+  claims::ClaimsData data = claims::GenerateClaims(config);
+  std::printf("  %llu sub-records total (IR/RE/HO/SI/IY/SY)\n",
+              static_cast<unsigned long long>(data.total_sub_records()));
+
+  sim::ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  sim::Cluster lake_cluster(cluster_options);
+  rede::Engine lake(&lake_cluster);
+  LH_CHECK(claims::LoadRawClaims(lake, data).ok());
+
+  sim::Cluster wh_cluster(cluster_options);
+  rede::Engine warehouse(&wh_cluster);
+  LH_CHECK(claims::LoadWarehouseClaims(warehouse, data).ok());
+
+  // Third deployment: the SAME claims re-encoded as FHIR-style JSON
+  // Bundles (§IV: "We expect ReDe would also manage and process the FHIR
+  // data flexibly and efficiently"). Only the Interpreters change.
+  sim::Cluster fhir_cluster(cluster_options);
+  rede::Engine fhir(&fhir_cluster);
+  LH_CHECK(claims::LoadFhirBundles(fhir, data).ok());
+
+  std::printf("\n%-32s %14s %14s %12s %12s %8s\n", "query", "claims",
+              "expense-sum", "wh-accesses", "lake-accesses", "ratio");
+  for (const claims::ClaimsQuery& query : claims::AllQueries()) {
+    auto raw_job = claims::BuildRawClaimsJob(lake, query);
+    auto wh_job = claims::BuildWarehouseClaimsJob(warehouse, query);
+    LH_CHECK(raw_job.ok());
+    LH_CHECK(wh_job.ok());
+
+    lake.catalog().ResetAccessStats();
+    auto raw = lake.ExecuteCollect(*raw_job, rede::ExecutionMode::kSmpe);
+    LH_CHECK(raw.ok());
+    uint64_t lake_accesses = lake.catalog().TotalRecordAccesses();
+    auto answer = claims::SummarizeRawOutput(raw->tuples);
+    LH_CHECK(answer.ok());
+
+    warehouse.catalog().ResetAccessStats();
+    auto wh = warehouse.ExecuteCollect(*wh_job, rede::ExecutionMode::kSmpe);
+    LH_CHECK(wh.ok());
+    uint64_t wh_accesses = warehouse.catalog().TotalRecordAccesses();
+    auto wh_answer = claims::SummarizeWarehouseOutput(wh->tuples);
+    LH_CHECK(wh_answer.ok());
+    LH_CHECK_MSG(*wh_answer == *answer, "deployments disagree");
+
+    auto fhir_job = claims::BuildFhirClaimsJob(fhir, query);
+    LH_CHECK(fhir_job.ok());
+    auto fhir_result =
+        fhir.ExecuteCollect(*fhir_job, rede::ExecutionMode::kSmpe);
+    LH_CHECK(fhir_result.ok());
+    auto fhir_answer = claims::SummarizeFhirOutput(fhir_result->tuples);
+    LH_CHECK(fhir_answer.ok());
+    LH_CHECK_MSG(*fhir_answer == *answer, "FHIR deployment disagrees");
+
+    std::printf("%-32s %14llu %14lld %12llu %12llu %7.2fx\n",
+                query.name.c_str(),
+                static_cast<unsigned long long>(answer->distinct_claims),
+                static_cast<long long>(answer->total_expense),
+                static_cast<unsigned long long>(wh_accesses),
+                static_cast<unsigned long long>(lake_accesses),
+                static_cast<double>(wh_accesses) /
+                    static_cast<double>(lake_accesses));
+  }
+  std::printf(
+      "\nAll three deployments (fixed-text lake, normalized warehouse, and "
+      "FHIR-JSON lake) return identical answers; the lakes touch a fraction "
+      "of the records because one raw claim carries what the warehouse "
+      "splits across four tables, and switching the record format to FHIR "
+      "only swapped the Interpreters.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The worked example of the paper's Fig 3/4: the Part-Lineitem join
+//
+//   SELECT * FROM Part p JOIN Lineitem l ON p.p_partkey = l.l_partkey
+//   WHERE p.p_retailprice BETWEEN X AND Y
+//
+// run as a chain of pre-defined Referencers/Dereferencers over a local
+// secondary B-tree on p_retailprice and a global index on l_partkey —
+// executed three ways (SMPE, partitioned, broadcast variant) on a timed
+// simulated cluster so the parallelism difference is visible.
+//
+// Build & run:  ./build/examples/tpch_join
+
+#include <cstdio>
+
+#include "tpch/loader.h"
+#include "tpch/part_join.h"
+#include "tpch/schema.h"
+
+using namespace lakeharbor;  // NOLINT — example brevity
+
+int main() {
+  sim::ClusterOptions cluster_options;
+  cluster_options.num_nodes = 8;
+  cluster_options.disk.random_read_latency_us = 400;
+  cluster_options.disk.io_slots = 24;
+  sim::Cluster cluster(cluster_options);  // timing enabled after loading
+
+  rede::EngineOptions engine_options;
+  engine_options.smpe.threads_per_node = 64;
+  rede::Engine engine(&cluster, engine_options);
+
+  tpch::TpchConfig config;
+  config.scale_factor = 0.01;
+  std::printf("generating TPC-H SF=%.3f ...\n", config.scale_factor);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::LoadOptions load;
+  load.build_part_join_indexes = true;
+  LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+  std::printf("loaded %llu rows, built %zu structures\n",
+              static_cast<unsigned long long>(data.total_rows()),
+              engine.index_catalog().ListAll().size());
+  cluster.SetTimingEnabled(true);  // pay simulated I/O only for queries
+
+  tpch::PartJoinParams params;
+  params.price_lo = 900.0;
+  params.price_hi = 903.0;
+
+  struct Run {
+    const char* label;
+    bool broadcast;
+    rede::ExecutionMode mode;
+  };
+  const Run runs[] = {
+      {"global-index join, SMPE", false, rede::ExecutionMode::kSmpe},
+      {"global-index join, partitioned only", false,
+       rede::ExecutionMode::kPartitioned},
+      {"broadcast join, SMPE", true, rede::ExecutionMode::kSmpe},
+  };
+
+  std::printf("\n%-38s %10s %10s %8s %12s\n", "plan", "rows", "wall-ms",
+              "peak-par", "broadcasts");
+  for (const Run& run : runs) {
+    tpch::PartJoinParams p = params;
+    p.broadcast = run.broadcast;
+    auto job = tpch::BuildPartLineitemJoinJob(engine, p);
+    LH_CHECK(job.ok());
+    auto result = engine.ExecuteCollect(*job, run.mode);
+    LH_CHECK(result.ok());
+    std::printf("%-38s %10zu %10.1f %8lld %12llu\n", run.label,
+                result->tuples.size(), result->metrics.wall_ms,
+                static_cast<long long>(result->metrics.peak_parallel_derefs),
+                static_cast<unsigned long long>(result->metrics.broadcasts));
+  }
+  std::printf(
+      "\nAll three plans return identical join results; SMPE simply "
+      "overlaps the fine-grained index and record fetches.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "common/string_util.h"
+#include "io/record.h"
+
+namespace lakeharbor::baseline {
+
+/// A row in the scan engine: the records joined so far, build-side records
+/// appended after probe-side ones (same bundle idea as rede::Tuple, so the
+/// two engines' outputs can be compared field-by-field in tests).
+using Row = std::vector<io::Record>;
+
+/// Predicate pushed down into a scan, evaluated per raw record.
+using RecordPredicate = std::function<StatusOr<bool>(const io::Record&)>;
+
+/// Join-key extraction from a row.
+using RowKeyExtractor = std::function<StatusOr<std::string>(const Row&)>;
+
+/// Key extractor reading delimited field `field_index` of row element
+/// `row_index` ('|'-delimited text, the TPC-H encoding).
+inline RowKeyExtractor FieldKeyOfRow(size_t row_index, size_t field_index,
+                                     char delim = '|') {
+  return [row_index, field_index, delim](const Row& row)
+             -> StatusOr<std::string> {
+    if (row_index >= row.size()) {
+      return Status::InvalidArgument("row index out of range in key extractor");
+    }
+    return std::string(
+        FieldAt(row[row_index].slice().view(), delim, field_index));
+  };
+}
+
+/// Record predicate testing delimited field `field_index` against an
+/// inclusive range.
+inline RecordPredicate FieldRangePredicate(size_t field_index, std::string lo,
+                                           std::string hi, char delim = '|') {
+  return [field_index, lo = std::move(lo), hi = std::move(hi),
+          delim](const io::Record& record) -> StatusOr<bool> {
+    std::string_view field =
+        FieldAt(record.slice().view(), delim, field_index);
+    return lo <= field && field <= hi;
+  };
+}
+
+/// Record predicate testing delimited field `field_index` for equality.
+inline RecordPredicate FieldEqualsPredicate(size_t field_index,
+                                            std::string value,
+                                            char delim = '|') {
+  return [field_index, value = std::move(value),
+          delim](const io::Record& record) -> StatusOr<bool> {
+    return FieldAt(record.slice().view(), delim, field_index) == value;
+  };
+}
+
+}  // namespace lakeharbor::baseline

@@ -1,0 +1,204 @@
+#include "baseline/scan_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "concurrent/inflight_tracker.h"
+
+namespace lakeharbor::baseline {
+
+namespace {
+
+size_t RowBytes(const Row& row) {
+  size_t bytes = 0;
+  for (const auto& record : row) bytes += record.size();
+  return bytes;
+}
+
+size_t RowsBytes(const std::vector<Row>& rows) {
+  size_t bytes = 0;
+  for (const auto& row : rows) bytes += RowBytes(row);
+  return bytes;
+}
+
+/// Shared error slot for fan-out phases: keeps the first failure.
+struct ErrorSlot {
+  std::mutex mutex;
+  Status status;
+  void Record(const Status& s) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (status.ok()) status = s;
+  }
+  Status Take() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return status;
+  }
+};
+
+}  // namespace
+
+ScanEngine::ScanEngine(sim::Cluster* cluster, ScanEngineOptions options)
+    : cluster_(cluster),
+      options_(options),
+      pool_(std::max<size_t>(1, options.workers_per_node) *
+            cluster->num_nodes()) {
+  LH_CHECK(cluster_ != nullptr);
+}
+
+StatusOr<std::vector<Row>> ScanEngine::Scan(io::File& file,
+                                            const RecordPredicate& predicate) {
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t num_partitions = file.num_partitions();
+  std::vector<std::vector<Row>> per_partition(num_partitions);
+  ErrorSlot error;
+  InflightTracker inflight;
+  inflight.Add(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    bool submitted = pool_.Submit([&, p] {
+      // The scan task runs "on" the node owning the partition: local I/O.
+      sim::NodeId node = file.NodeOfPartition(p);
+      std::vector<Row>& out = per_partition[p];
+      Status predicate_status = Status::OK();
+      Status status = file.ScanPartition(node, p, [&](const io::Record& r) {
+        stats_.records_scanned.fetch_add(1, std::memory_order_relaxed);
+        if (predicate) {
+          auto keep = predicate(r);
+          if (!keep.ok()) {
+            predicate_status = keep.status();
+            return false;
+          }
+          if (!*keep) return true;
+        }
+        out.push_back(Row{r});
+        return true;
+      });
+      if (!status.ok()) error.Record(status);
+      if (!predicate_status.ok()) error.Record(predicate_status);
+      inflight.Done();
+    });
+    LH_CHECK_MSG(submitted, "scan pool shut down");
+  }
+  inflight.AwaitZero();
+  LH_RETURN_NOT_OK(error.Take().WithContext("scan of " + file.name()));
+
+  std::vector<Row> rows;
+  size_t total = 0;
+  for (const auto& part : per_partition) total += part.size();
+  rows.reserve(total);
+  for (auto& part : per_partition) {
+    for (auto& row : part) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+StatusOr<std::vector<Row>> ScanEngine::HashJoin(
+    std::vector<Row> probe, const RowKeyExtractor& probe_key,
+    std::vector<Row> build, const RowKeyExtractor& build_key) {
+  stats_.joins.fetch_add(1, std::memory_order_relaxed);
+  const size_t probe_bytes = RowsBytes(probe);
+  const size_t build_bytes = RowsBytes(build);
+  const size_t cluster_budget =
+      options_.join_memory_budget_bytes * cluster_->num_nodes();
+
+  // Pick the bucket count: 1 bucket == pure in-memory join; otherwise a
+  // grace join that spills both inputs and processes bucket by bucket.
+  size_t num_buckets = 1;
+  if (probe_bytes + build_bytes > cluster_budget) {
+    num_buckets = (probe_bytes + build_bytes + cluster_budget - 1) /
+                  std::max<size_t>(1, cluster_budget) * 2;
+    stats_.grace_joins.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto bucket_of = [&](const std::string& key) {
+    return num_buckets == 1
+               ? size_t{0}
+               : static_cast<size_t>(Fnv1a64(key) % num_buckets);
+  };
+
+  std::vector<std::vector<Row>> probe_buckets(num_buckets);
+  std::vector<std::vector<Row>> build_buckets(num_buckets);
+  for (auto& row : probe) {
+    LH_ASSIGN_OR_RETURN(std::string key, probe_key(row));
+    probe_buckets[bucket_of(key)].push_back(std::move(row));
+  }
+  for (auto& row : build) {
+    LH_ASSIGN_OR_RETURN(std::string key, build_key(row));
+    build_buckets[bucket_of(key)].push_back(std::move(row));
+  }
+  probe.clear();
+  build.clear();
+
+  if (num_buckets > 1) {
+    // Charge the spill: both inputs are written out partitioned and read
+    // back once, spread round-robin over the cluster's disks.
+    uint64_t spill = 0;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      uint64_t bytes =
+          RowsBytes(probe_buckets[b]) + RowsBytes(build_buckets[b]);
+      spill += bytes;
+      sim::NodeId node =
+          static_cast<sim::NodeId>(b % cluster_->num_nodes());
+      LH_RETURN_NOT_OK(cluster_->ChargeWrite(node, node, bytes));
+      LH_RETURN_NOT_OK(cluster_->ChargeSequentialRead(node, node, bytes));
+    }
+    stats_.spilled_bytes.fetch_add(spill, std::memory_order_relaxed);
+  }
+
+  return JoinBuckets(std::move(probe_buckets), probe_key,
+                     std::move(build_buckets), build_key);
+}
+
+StatusOr<std::vector<Row>> ScanEngine::JoinBuckets(
+    std::vector<std::vector<Row>> probe_buckets,
+    const RowKeyExtractor& probe_key,
+    std::vector<std::vector<Row>> build_buckets,
+    const RowKeyExtractor& build_key) {
+  const size_t num_buckets = probe_buckets.size();
+  std::vector<std::vector<Row>> per_bucket_output(num_buckets);
+  ErrorSlot error;
+  InflightTracker inflight;
+  inflight.Add(static_cast<int64_t>(num_buckets));
+  for (size_t b = 0; b < num_buckets; ++b) {
+    bool submitted = pool_.Submit([&, b] {
+      auto run = [&]() -> Status {
+        std::unordered_multimap<std::string, const Row*> table;
+        table.reserve(build_buckets[b].size());
+        for (const Row& row : build_buckets[b]) {
+          LH_ASSIGN_OR_RETURN(std::string key, build_key(row));
+          table.emplace(std::move(key), &row);
+        }
+        std::vector<Row>& out = per_bucket_output[b];
+        for (const Row& row : probe_buckets[b]) {
+          LH_ASSIGN_OR_RETURN(std::string key, probe_key(row));
+          auto [begin, end] = table.equal_range(key);
+          for (auto it = begin; it != end; ++it) {
+            Row joined = row;
+            joined.insert(joined.end(), it->second->begin(),
+                          it->second->end());
+            out.push_back(std::move(joined));
+          }
+        }
+        return Status::OK();
+      };
+      Status status = run();
+      if (!status.ok()) error.Record(status);
+      inflight.Done();
+    });
+    LH_CHECK_MSG(submitted, "join pool shut down");
+  }
+  inflight.AwaitZero();
+  LH_RETURN_NOT_OK(error.Take().WithContext("hash join"));
+
+  std::vector<Row> output;
+  size_t total = 0;
+  for (const auto& bucket : per_bucket_output) total += bucket.size();
+  output.reserve(total);
+  for (auto& bucket : per_bucket_output) {
+    for (auto& row : bucket) output.push_back(std::move(row));
+  }
+  stats_.join_output_rows.fetch_add(output.size(), std::memory_order_relaxed);
+  return output;
+}
+
+}  // namespace lakeharbor::baseline

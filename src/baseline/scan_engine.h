@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/scan_stats.h"
+#include "baseline/row.h"
+#include "concurrent/thread_pool.h"
+#include "io/file.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::baseline {
+
+struct ScanEngineOptions {
+  /// Static per-node parallelism — "dozens of statically defined
+  /// parallelism (usually matching the number of CPU cores)". The paper's
+  /// testbed nodes had 16 cores.
+  size_t workers_per_node = 16;
+
+  /// Per-node memory available to a hash join before it goes *grace*
+  /// (spilling both inputs to disk in hash buckets and joining bucket by
+  /// bucket).
+  size_t join_memory_budget_bytes = 8ull * 1024 * 1024;
+};
+
+/// The "fast data lake system" baseline of Fig 7 (Apache Impala's relevant
+/// behaviour): full parallel partitioned scans with predicate pushdown, no
+/// indexes, (grace) hash joins. Used both as the Fig 7 comparator and as a
+/// correctness oracle for ReDe jobs in the integration tests.
+class ScanEngine {
+ public:
+  ScanEngine(sim::Cluster* cluster, ScanEngineOptions options = {});
+  LH_DISALLOW_COPY_AND_ASSIGN(ScanEngine);
+
+  const ScanEngineOptions& options() const { return options_; }
+
+  /// Parallel full scan of `file`. Records failing `predicate` (nullable)
+  /// are dropped during the scan; survivors become single-record rows.
+  StatusOr<std::vector<Row>> Scan(io::File& file,
+                                  const RecordPredicate& predicate);
+
+  /// Hash join: `probe` rows joined with `build` rows on equal keys; each
+  /// output row is the probe row's records followed by the build row's.
+  /// When both inputs fit in the per-node budget the join is in-memory;
+  /// otherwise it runs as a grace hash join, charging the simulated disks
+  /// for spilling and re-reading both inputs.
+  StatusOr<std::vector<Row>> HashJoin(std::vector<Row> probe,
+                                      const RowKeyExtractor& probe_key,
+                                      std::vector<Row> build,
+                                      const RowKeyExtractor& build_key);
+
+  const ScanStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  StatusOr<std::vector<Row>> JoinBuckets(
+      std::vector<std::vector<Row>> probe_buckets,
+      const RowKeyExtractor& probe_key,
+      std::vector<std::vector<Row>> build_buckets,
+      const RowKeyExtractor& build_key);
+
+  sim::Cluster* cluster_;
+  ScanEngineOptions options_;
+  ThreadPool pool_;
+  ScanStats stats_;
+};
+
+}  // namespace lakeharbor::baseline

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lakeharbor::baseline {
+
+/// Counters of the baseline engine.
+struct ScanStats {
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> records_scanned{0};
+  std::atomic<uint64_t> joins{0};
+  std::atomic<uint64_t> grace_joins{0};       ///< joins that spilled
+  std::atomic<uint64_t> spilled_bytes{0};
+  std::atomic<uint64_t> join_output_rows{0};
+
+  void Reset() {
+    scans = 0;
+    records_scanned = 0;
+    joins = 0;
+    grace_joins = 0;
+    spilled_bytes = 0;
+    join_output_rows = 0;
+  }
+};
+
+}  // namespace lakeharbor::baseline

@@ -1,0 +1,280 @@
+#include "claims/fhir.h"
+
+#include <functional>
+#include <set>
+
+#include "common/string_util.h"
+#include "io/key_codec.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+
+namespace lakeharbor::claims {
+
+namespace {
+
+Json Coding(const std::string& code) {
+  Json coding = Json::MakeObject();
+  coding.Set("code", Json::MakeString(code));
+  Json array = Json::MakeArray();
+  array.Append(std::move(coding));
+  Json wrapper = Json::MakeObject();
+  wrapper.Set("coding", std::move(array));
+  return wrapper;
+}
+
+Json Entry(Json resource) {
+  Json entry = Json::MakeObject();
+  entry.Set("resource", std::move(resource));
+  return entry;
+}
+
+/// Parse a raw record as a Bundle and visit each entry's resource of the
+/// given resourceType.
+Status ForEachResource(
+    const io::Record& record, const std::string& resource_type,
+    const std::function<Status(const Json& resource)>& visit) {
+  LH_ASSIGN_OR_RETURN(Json bundle, Json::Parse(record.slice().view()));
+  const Json* type = bundle.Find("resourceType");
+  if (type == nullptr || !type->is_string() ||
+      type->AsString() != "Bundle") {
+    return Status::Corruption("record is not a FHIR Bundle");
+  }
+  const Json* entries = bundle.Find("entry");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::Corruption("Bundle has no entry array");
+  }
+  for (const Json& entry : entries->AsArray()) {
+    const Json* resource = entry.Find("resource");
+    if (resource == nullptr) continue;
+    const Json* rt = resource->Find("resourceType");
+    if (rt == nullptr || !rt->is_string()) continue;
+    if (rt->AsString() == resource_type) {
+      LH_RETURN_NOT_OK(visit(*resource));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> CodeOf(const Json& resource, const char* field) {
+  const Json* coding = resource.FindPath(std::string(field) + ".coding");
+  if (coding == nullptr || !coding->is_array() || coding->AsArray().empty()) {
+    return Status::Corruption("resource has no coding");
+  }
+  const Json* code = coding->AsArray()[0].Find("code");
+  if (code == nullptr || !code->is_string()) {
+    return Status::Corruption("coding has no code");
+  }
+  return code->AsString();
+}
+
+}  // namespace
+
+Json ClaimToFhirBundle(const Claim& claim) {
+  Json bundle = Json::MakeObject();
+  bundle.Set("resourceType", Json::MakeString("Bundle"));
+  bundle.Set("type", Json::MakeString("collection"));
+  Json entries = Json::MakeArray();
+
+  Json claim_resource = Json::MakeObject();
+  claim_resource.Set("resourceType", Json::MakeString("Claim"));
+  claim_resource.Set("id",
+                     Json::MakeString(std::to_string(claim.ir.claim_id)));
+  claim_resource.Set("use", Json::MakeString(claim.ir.type));
+  Json provider = Json::MakeObject();
+  provider.Set("identifier",
+               Json::MakeString(std::to_string(claim.ir.hospital_id)));
+  claim_resource.Set("provider", std::move(provider));
+  Json total = Json::MakeObject();
+  total.Set("value",
+            Json::MakeNumber(static_cast<double>(claim.total_expense)));
+  total.Set("currency", Json::MakeString("JPY"));
+  claim_resource.Set("total", std::move(total));
+  entries.Append(Entry(std::move(claim_resource)));
+
+  Json patient = Json::MakeObject();
+  patient.Set("resourceType", Json::MakeString("Patient"));
+  patient.Set("id", Json::MakeString(std::to_string(claim.re.patient_id)));
+  patient.Set("gender",
+              Json::MakeString(claim.re.sex == "F" ? "female" : "male"));
+  patient.Set("age", Json::MakeNumber(static_cast<double>(claim.re.age)));
+  entries.Append(Entry(std::move(patient)));
+
+  Json encounter = Json::MakeObject();
+  encounter.Set("resourceType", Json::MakeString("Encounter"));
+  encounter.Set("class", Json::MakeString(claim.re.category));
+  entries.Append(Entry(std::move(encounter)));
+
+  for (const SySubRecord& sy : claim.diseases) {
+    Json condition = Json::MakeObject();
+    condition.Set("resourceType", Json::MakeString("Condition"));
+    condition.Set("code", Coding(sy.disease_code));
+    condition.Set("primary", Json::MakeBool(sy.primary));
+    entries.Append(Entry(std::move(condition)));
+  }
+  for (const IySubRecord& iy : claim.medicines) {
+    Json medication = Json::MakeObject();
+    medication.Set("resourceType", Json::MakeString("MedicationRequest"));
+    medication.Set("medication", Coding(iy.medicine_code));
+    medication.Set("quantity",
+                   Json::MakeNumber(static_cast<double>(iy.quantity)));
+    medication.Set("points",
+                   Json::MakeNumber(static_cast<double>(iy.points)));
+    entries.Append(Entry(std::move(medication)));
+  }
+  for (const SiSubRecord& si : claim.treatments) {
+    Json procedure = Json::MakeObject();
+    procedure.Set("resourceType", Json::MakeString("Procedure"));
+    procedure.Set("code", Coding(si.treatment_code));
+    procedure.Set("count", Json::MakeNumber(static_cast<double>(si.count)));
+    procedure.Set("points",
+                  Json::MakeNumber(static_cast<double>(si.points)));
+    entries.Append(Entry(std::move(procedure)));
+  }
+  bundle.Set("entry", std::move(entries));
+  return bundle;
+}
+
+std::string ClaimToFhirJson(const Claim& claim) {
+  return ClaimToFhirBundle(claim).Dump();
+}
+
+StatusOr<int64_t> FhirExtractClaimId(const io::Record& record) {
+  int64_t id = -1;
+  LH_RETURN_NOT_OK(
+      ForEachResource(record, "Claim", [&](const Json& resource) -> Status {
+        const Json* jid = resource.Find("id");
+        if (jid == nullptr || !jid->is_string()) {
+          return Status::Corruption("Claim resource has no id");
+        }
+        LH_ASSIGN_OR_RETURN(id, ParseInt64(jid->AsString()));
+        return Status::OK();
+      }));
+  if (id < 0) return Status::Corruption("Bundle has no Claim resource");
+  return id;
+}
+
+StatusOr<int64_t> FhirExtractTotalExpense(const io::Record& record) {
+  int64_t expense = -1;
+  LH_RETURN_NOT_OK(
+      ForEachResource(record, "Claim", [&](const Json& resource) -> Status {
+        const Json* value = resource.FindPath("total.value");
+        if (value == nullptr || !value->is_number()) {
+          return Status::Corruption("Claim resource has no total.value");
+        }
+        expense = static_cast<int64_t>(value->AsNumber());
+        return Status::OK();
+      }));
+  if (expense < 0) return Status::Corruption("Bundle has no Claim total");
+  return expense;
+}
+
+Status FhirExtractConditionCodes(const io::Record& record,
+                                 std::vector<std::string>* out) {
+  return ForEachResource(
+      record, "Condition", [&](const Json& resource) -> Status {
+        LH_ASSIGN_OR_RETURN(std::string code, CodeOf(resource, "code"));
+        out->push_back(std::move(code));
+        return Status::OK();
+      });
+}
+
+StatusOr<bool> FhirHasMedicationInRange(const io::Record& record,
+                                        const std::string& lo,
+                                        const std::string& hi) {
+  bool found = false;
+  LH_RETURN_NOT_OK(ForEachResource(
+      record, "MedicationRequest", [&](const Json& resource) -> Status {
+        if (found) return Status::OK();
+        LH_ASSIGN_OR_RETURN(std::string code, CodeOf(resource, "medication"));
+        if (lo <= code && code <= hi) found = true;
+        return Status::OK();
+      }));
+  return found;
+}
+
+Status LoadFhirBundles(rede::Engine& engine, const ClaimsData& data,
+                       ClaimsLoadOptions options) {
+  uint32_t partitions = options.partitions == 0
+                            ? engine.cluster().num_nodes()
+                            : options.partitions;
+  auto file = std::make_shared<io::PartitionedFile>(
+      names::kFhirBundles, std::make_shared<io::HashPartitioner>(partitions),
+      &engine.cluster(), options.btree_fanout);
+  for (const Claim& claim : data.parsed) {
+    std::string key = io::EncodeInt64Key(claim.ir.claim_id);
+    LH_RETURN_NOT_OK(
+        file->Append(key, key, io::Record(ClaimToFhirJson(claim))));
+  }
+  file->Seal();
+  LH_RETURN_NOT_OK(engine.catalog().Register(file));
+
+  // Post-hoc access method over the JSON bundles: the extractor walks the
+  // nested document with schema-on-read, exactly like the fixed-text
+  // deployment's extractor walks the SY sub-records.
+  index::IndexSpec spec;
+  spec.index_name = names::kFhirConditionIndex;
+  spec.base_file = names::kFhirBundles;
+  spec.placement = index::IndexPlacement::kGlobal;
+  spec.btree_fanout = options.btree_fanout;
+  spec.extract = [](const io::Record& record,
+                    std::vector<index::Posting>* out) {
+    LH_ASSIGN_OR_RETURN(int64_t id, FhirExtractClaimId(record));
+    std::string target = io::EncodeInt64Key(id);
+    std::vector<std::string> codes;
+    LH_RETURN_NOT_OK(FhirExtractConditionCodes(record, &codes));
+    for (auto& code : codes) {
+      out->push_back(index::Posting{std::move(code), target, target});
+    }
+    return Status::OK();
+  };
+  return engine.BuildStructure(spec, "Condition.code").status();
+}
+
+StatusOr<rede::Job> BuildFhirClaimsJob(rede::Engine& engine,
+                                       const ClaimsQuery& query) {
+  io::Catalog& catalog = engine.catalog();
+  LH_ASSIGN_OR_RETURN(auto bundles, catalog.Get(names::kFhirBundles));
+  LH_ASSIGN_OR_RETURN(auto idx_file, catalog.Get(names::kFhirConditionIndex));
+  auto idx = std::dynamic_pointer_cast<io::BtreeFile>(idx_file);
+  if (idx == nullptr) {
+    return Status::InvalidArgument("condition index is not a BtreeFile");
+  }
+  using namespace rede;  // NOLINT
+  Filter medication_filter =
+      [lo = query.medicine_lo,
+       hi = query.medicine_hi](const Tuple& tuple) -> StatusOr<bool> {
+    return FhirHasMedicationInRange(tuple.last_record(), lo, hi);
+  };
+  return JobBuilder("claims-fhir-" + query.name)
+      .Initial(Tuple::Range(io::Pointer::Broadcast(query.disease_lo),
+                            io::Pointer::Broadcast(query.disease_hi)))
+      .Add(MakeRangeDereferencer("deref0-condition-idx", idx))
+      .Add(MakeIndexEntryReferencer("ref1-bundle-ptr"))
+      .Add(MakePointDereferencer("deref1-bundle", bundles, medication_filter))
+      .Build();
+}
+
+StatusOr<ClaimsAnswer> SummarizeFhirOutput(
+    const std::vector<rede::Tuple>& tuples) {
+  std::vector<std::pair<int64_t, int64_t>> id_expense;
+  id_expense.reserve(tuples.size());
+  for (const rede::Tuple& tuple : tuples) {
+    if (tuple.records.empty()) return Status::Internal("empty fhir bundle");
+    LH_ASSIGN_OR_RETURN(int64_t id, FhirExtractClaimId(tuple.last_record()));
+    LH_ASSIGN_OR_RETURN(int64_t expense,
+                        FhirExtractTotalExpense(tuple.last_record()));
+    id_expense.emplace_back(id, expense);
+  }
+  // Same dedup semantics as the other deployments.
+  std::set<int64_t> seen;
+  ClaimsAnswer answer;
+  for (const auto& [id, expense] : id_expense) {
+    if (seen.insert(id).second) {
+      ++answer.distinct_claims;
+      answer.total_expense += expense;
+    }
+  }
+  return answer;
+}
+
+}  // namespace lakeharbor::claims

@@ -1,0 +1,193 @@
+#include "claims/format.h"
+
+#include "common/string_util.h"
+
+namespace lakeharbor::claims {
+
+namespace {
+
+StatusOr<int64_t> IntField(std::string_view line, size_t field) {
+  return ParseInt64(FieldAt(line, kFieldDelim, field));
+}
+
+/// Visit each sub-record line of a raw claim.
+template <typename Fn>
+Status ForEachLine(const io::Record& record, Fn&& fn) {
+  std::string_view text = record.slice().view();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(kSubRecordDelim, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty()) {
+      LH_RETURN_NOT_OK(fn(line));
+    }
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+std::string_view Kind(std::string_view line) { return line.substr(0, 2); }
+
+}  // namespace
+
+std::string FormatClaim(const Claim& claim) {
+  std::string out;
+  out += StrFormat("IR,%lld,%lld,%s\n",
+                   static_cast<long long>(claim.ir.claim_id),
+                   static_cast<long long>(claim.ir.hospital_id),
+                   claim.ir.type.c_str());
+  out += StrFormat("RE,%lld,%s,%lld,%s\n",
+                   static_cast<long long>(claim.re.patient_id),
+                   claim.re.category.c_str(),
+                   static_cast<long long>(claim.re.age),
+                   claim.re.sex.c_str());
+  out += StrFormat("HO,%lld\n", static_cast<long long>(claim.total_expense));
+  for (const auto& si : claim.treatments) {
+    out += StrFormat("SI,%s,%lld,%lld\n", si.treatment_code.c_str(),
+                     static_cast<long long>(si.count),
+                     static_cast<long long>(si.points));
+  }
+  for (const auto& iy : claim.medicines) {
+    out += StrFormat("IY,%s,%lld,%lld\n", iy.medicine_code.c_str(),
+                     static_cast<long long>(iy.quantity),
+                     static_cast<long long>(iy.points));
+  }
+  for (const auto& sy : claim.diseases) {
+    out += StrFormat("SY,%s,%d\n", sy.disease_code.c_str(),
+                     sy.primary ? 1 : 0);
+  }
+  return out;
+}
+
+StatusOr<Claim> ParseClaim(const io::Record& record) {
+  Claim claim;
+  bool has_ir = false, has_re = false, has_ho = false;
+  Status status = ForEachLine(record, [&](std::string_view line) -> Status {
+    std::string_view kind = Kind(line);
+    if (kind == "IR") {
+      LH_ASSIGN_OR_RETURN(claim.ir.claim_id, IntField(line, 1));
+      LH_ASSIGN_OR_RETURN(claim.ir.hospital_id, IntField(line, 2));
+      claim.ir.type = std::string(FieldAt(line, kFieldDelim, 3));
+      has_ir = true;
+    } else if (kind == "RE") {
+      LH_ASSIGN_OR_RETURN(claim.re.patient_id, IntField(line, 1));
+      claim.re.category = std::string(FieldAt(line, kFieldDelim, 2));
+      LH_ASSIGN_OR_RETURN(claim.re.age, IntField(line, 3));
+      claim.re.sex = std::string(FieldAt(line, kFieldDelim, 4));
+      has_re = true;
+    } else if (kind == "HO") {
+      LH_ASSIGN_OR_RETURN(claim.total_expense, IntField(line, 1));
+      has_ho = true;
+    } else if (kind == "SI") {
+      SiSubRecord si;
+      si.treatment_code = std::string(FieldAt(line, kFieldDelim, 1));
+      LH_ASSIGN_OR_RETURN(si.count, IntField(line, 2));
+      LH_ASSIGN_OR_RETURN(si.points, IntField(line, 3));
+      claim.treatments.push_back(std::move(si));
+    } else if (kind == "IY") {
+      IySubRecord iy;
+      iy.medicine_code = std::string(FieldAt(line, kFieldDelim, 1));
+      LH_ASSIGN_OR_RETURN(iy.quantity, IntField(line, 2));
+      LH_ASSIGN_OR_RETURN(iy.points, IntField(line, 3));
+      claim.medicines.push_back(std::move(iy));
+    } else if (kind == "SY") {
+      SySubRecord sy;
+      sy.disease_code = std::string(FieldAt(line, kFieldDelim, 1));
+      LH_ASSIGN_OR_RETURN(int64_t primary, IntField(line, 2));
+      sy.primary = primary != 0;
+      claim.diseases.push_back(std::move(sy));
+    } else {
+      return Status::Corruption("unknown claim sub-record kind '" +
+                                std::string(kind) + "'");
+    }
+    return Status::OK();
+  });
+  LH_RETURN_NOT_OK(status);
+  if (!has_ir || !has_re || !has_ho) {
+    return Status::Corruption("claim missing IR/RE/HO sub-record");
+  }
+  return claim;
+}
+
+StatusOr<int64_t> ExtractClaimId(const io::Record& record) {
+  int64_t id = -1;
+  Status status = ForEachLine(record, [&](std::string_view line) -> Status {
+    if (Kind(line) == "IR") {
+      LH_ASSIGN_OR_RETURN(id, IntField(line, 1));
+    }
+    return Status::OK();
+  });
+  LH_RETURN_NOT_OK(status);
+  if (id < 0) return Status::Corruption("claim has no IR sub-record");
+  return id;
+}
+
+StatusOr<int64_t> ExtractTotalExpense(const io::Record& record) {
+  int64_t expense = -1;
+  Status status = ForEachLine(record, [&](std::string_view line) -> Status {
+    if (Kind(line) == "HO") {
+      LH_ASSIGN_OR_RETURN(expense, IntField(line, 1));
+    }
+    return Status::OK();
+  });
+  LH_RETURN_NOT_OK(status);
+  if (expense < 0) return Status::Corruption("claim has no HO sub-record");
+  return expense;
+}
+
+Status ExtractDiseaseCodes(const io::Record& record,
+                           std::vector<std::string>* out) {
+  return ForEachLine(record, [&](std::string_view line) -> Status {
+    if (Kind(line) == "SY") {
+      out->push_back(std::string(FieldAt(line, kFieldDelim, 1)));
+    }
+    return Status::OK();
+  });
+}
+
+Status ExtractMedicineCodes(const io::Record& record,
+                            std::vector<std::string>* out) {
+  return ForEachLine(record, [&](std::string_view line) -> Status {
+    if (Kind(line) == "IY") {
+      out->push_back(std::string(FieldAt(line, kFieldDelim, 1)));
+    }
+    return Status::OK();
+  });
+}
+
+StatusOr<bool> HasMedicineInRange(const io::Record& record,
+                                  const std::string& lo,
+                                  const std::string& hi) {
+  bool found = false;
+  Status status = ForEachLine(record, [&](std::string_view line) -> Status {
+    if (!found && Kind(line) == "IY") {
+      std::string_view code = FieldAt(line, kFieldDelim, 1);
+      if (std::string_view(lo) <= code && code <= std::string_view(hi)) {
+        found = true;
+      }
+    }
+    return Status::OK();
+  });
+  LH_RETURN_NOT_OK(status);
+  return found;
+}
+
+StatusOr<bool> HasDiseaseInRange(const io::Record& record,
+                                 const std::string& lo,
+                                 const std::string& hi) {
+  bool found = false;
+  Status status = ForEachLine(record, [&](std::string_view line) -> Status {
+    if (!found && Kind(line) == "SY") {
+      std::string_view code = FieldAt(line, kFieldDelim, 1);
+      if (std::string_view(lo) <= code && code <= std::string_view(hi)) {
+        found = true;
+      }
+    }
+    return Status::OK();
+  });
+  LH_RETURN_NOT_OK(status);
+  return found;
+}
+
+}  // namespace lakeharbor::claims

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "io/record.h"
+
+/// \file format.h
+/// The Japanese health-insurance claim format of Fig 8: a claim is a
+/// dynamically-typed record composed of sub-records whose kind is given by
+/// the two leading characters of each line:
+///   IR  hospital claiming the expenses; its `type` attribute (piecework
+///       "PW" vs "DPC") changes the record's effective schema — the
+///       property that breaks nested-columnar formats like Parquet
+///   RE  service category (IN/OUT-patient) and patient information
+///   HO  total medical expenses
+///   SI  a medical treatment provided (repeats)
+///   IY  a medicine prescribed (repeats)
+///   SY  a disease diagnosed (repeats)
+/// One claim is stored as ONE raw Record (sub-records newline-separated,
+/// fields comma-separated); all field access is schema-on-read.
+
+namespace lakeharbor::claims {
+
+inline constexpr char kSubRecordDelim = '\n';
+inline constexpr char kFieldDelim = ',';
+
+struct IrSubRecord {
+  int64_t claim_id = 0;
+  int64_t hospital_id = 0;
+  std::string type;  // "PW" (piecework) or "DPC"
+};
+
+struct ReSubRecord {
+  int64_t patient_id = 0;
+  std::string category;  // "IN" or "OUT"
+  int64_t age = 0;
+  std::string sex;  // "M"/"F"
+};
+
+struct SiSubRecord {
+  std::string treatment_code;
+  int64_t count = 0;
+  int64_t points = 0;
+};
+
+struct IySubRecord {
+  std::string medicine_code;
+  int64_t quantity = 0;
+  int64_t points = 0;
+};
+
+struct SySubRecord {
+  std::string disease_code;
+  bool primary = false;
+};
+
+/// Fully parsed claim (tests and result summarization; queries themselves
+/// use the narrow extractors below, which avoid materializing everything).
+struct Claim {
+  IrSubRecord ir;
+  ReSubRecord re;
+  int64_t total_expense = 0;  // HO
+  std::vector<SiSubRecord> treatments;
+  std::vector<IySubRecord> medicines;
+  std::vector<SySubRecord> diseases;
+};
+
+/// Serialize a claim into its raw text form.
+std::string FormatClaim(const Claim& claim);
+
+/// Parse a raw claim record. Unknown sub-record kinds are a Corruption
+/// error; missing IR/RE/HO likewise.
+StatusOr<Claim> ParseClaim(const io::Record& record);
+
+/// Narrow schema-on-read extractors (no full parse):
+/// The claim id from the IR sub-record.
+StatusOr<int64_t> ExtractClaimId(const io::Record& record);
+/// The HO total expense.
+StatusOr<int64_t> ExtractTotalExpense(const io::Record& record);
+/// All SY disease codes.
+Status ExtractDiseaseCodes(const io::Record& record,
+                           std::vector<std::string>* out);
+/// All IY medicine codes.
+Status ExtractMedicineCodes(const io::Record& record,
+                            std::vector<std::string>* out);
+/// True when any IY medicine code falls in [lo, hi].
+StatusOr<bool> HasMedicineInRange(const io::Record& record,
+                                  const std::string& lo,
+                                  const std::string& hi);
+/// True when any SY disease code falls in [lo, hi].
+StatusOr<bool> HasDiseaseInRange(const io::Record& record,
+                                 const std::string& lo,
+                                 const std::string& hi);
+
+}  // namespace lakeharbor::claims

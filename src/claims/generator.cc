@@ -1,0 +1,110 @@
+#include "claims/generator.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace lakeharbor::claims {
+
+namespace {
+
+std::string CodeInRange(Random& rng, const char* lo, const char* hi) {
+  int64_t a = std::stoll(lo);
+  int64_t b = std::stoll(hi);
+  return StrFormat("%04lld",
+                   static_cast<long long>(rng.UniformRange(a, b)));
+}
+
+}  // namespace
+
+uint64_t ClaimsData::total_sub_records() const {
+  uint64_t n = 0;
+  for (const Claim& c : parsed) {
+    n += 3 + c.treatments.size() + c.medicines.size() + c.diseases.size();
+  }
+  return n;
+}
+
+ClaimsData GenerateClaims(const ClaimsConfig& config) {
+  ClaimsData data;
+  data.config = config;
+  data.raw.reserve(config.num_claims);
+  data.parsed.reserve(config.num_claims);
+  Random rng(config.seed);
+
+  for (uint64_t id = 1; id <= config.num_claims; ++id) {
+    Claim claim;
+    claim.ir.claim_id = static_cast<int64_t>(id);
+    claim.ir.hospital_id = rng.UniformRange(1, 500);
+    claim.ir.type = rng.Bernoulli(0.25) ? "DPC" : "PW";
+    claim.re.patient_id = rng.UniformRange(1, 8000);
+    claim.re.category = rng.Bernoulli(0.3) ? "IN" : "OUT";
+    claim.re.age = rng.UniformRange(0, 99);
+    claim.re.sex = rng.Bernoulli(0.5) ? "M" : "F";
+    claim.total_expense = rng.UniformRange(1000, 50000);
+
+    // Background content present in every claim.
+    uint64_t n_sy = 1 + rng.Uniform(3);
+    for (uint64_t i = 0; i < n_sy; ++i) {
+      claim.diseases.push_back(
+          {CodeInRange(rng, codes::kBackgroundDiseaseLo,
+                       codes::kBackgroundDiseaseHi),
+           i == 0});
+    }
+    uint64_t n_iy = 1 + rng.Uniform(4);
+    for (uint64_t i = 0; i < n_iy; ++i) {
+      claim.medicines.push_back(
+          {CodeInRange(rng, codes::kBackgroundMedicineLo,
+                       codes::kBackgroundMedicineHi),
+           rng.UniformRange(1, 30), rng.UniformRange(1, 500)});
+    }
+    uint64_t n_si = 1 + rng.Uniform(3);
+    for (uint64_t i = 0; i < n_si; ++i) {
+      claim.treatments.push_back({StrFormat("%04lld",
+                                            static_cast<long long>(
+                                                rng.UniformRange(8000, 8999))),
+                                  rng.UniformRange(1, 5),
+                                  rng.UniformRange(10, 2000)});
+    }
+
+    // Cohorts with correlated prescriptions; chronic conditions raise the
+    // claimed expense.
+    if (rng.Bernoulli(config.hypertension_rate)) {
+      claim.diseases.push_back(
+          {CodeInRange(rng, codes::kHypertensionLo, codes::kHypertensionHi),
+           false});
+      claim.total_expense += rng.UniformRange(2000, 20000);
+      if (rng.Bernoulli(config.hypertension_treated)) {
+        claim.medicines.push_back(
+            {CodeInRange(rng, codes::kAntihypertensiveLo,
+                         codes::kAntihypertensiveHi),
+             rng.UniformRange(28, 90), rng.UniformRange(100, 1000)});
+      }
+    }
+    if (rng.Bernoulli(config.acne_rate)) {
+      claim.diseases.push_back(
+          {CodeInRange(rng, codes::kAcneLo, codes::kAcneHi), false});
+      if (rng.Bernoulli(config.acne_treated)) {
+        claim.medicines.push_back(
+            {CodeInRange(rng, codes::kAntimicrobialLo,
+                         codes::kAntimicrobialHi),
+             rng.UniformRange(7, 28), rng.UniformRange(50, 600)});
+      }
+    }
+    if (rng.Bernoulli(config.diabetes_rate)) {
+      claim.diseases.push_back(
+          {CodeInRange(rng, codes::kDiabetesLo, codes::kDiabetesHi), false});
+      claim.total_expense += rng.UniformRange(3000, 30000);
+      if (rng.Bernoulli(config.diabetes_treated)) {
+        claim.medicines.push_back(
+            {CodeInRange(rng, codes::kGlp1Lo, codes::kGlp1Hi),
+             rng.UniformRange(28, 90), rng.UniformRange(500, 5000)});
+      }
+    }
+
+    data.raw.push_back(FormatClaim(claim));
+    data.parsed.push_back(std::move(claim));
+  }
+  return data;
+}
+
+}  // namespace lakeharbor::claims

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "claims/format.h"
+
+/// \file generator.h
+/// Synthetic substitute for the (confidential) national insurance-claims
+/// database of §IV. Disease/medicine code ranges define the three query
+/// cohorts (hypertension/antihypertensives, acne/antimicrobials,
+/// diabetes/GLP-1); every claim also carries background diseases, medicines
+/// and treatments so that cohort selectivities are realistic.
+
+namespace lakeharbor::claims {
+
+/// Code ranges (codes are fixed-width digit strings; ranges are inclusive).
+namespace codes {
+// disease classes (SY)
+inline constexpr const char* kHypertensionLo = "1000";
+inline constexpr const char* kHypertensionHi = "1019";
+inline constexpr const char* kAcneLo = "1100";
+inline constexpr const char* kAcneHi = "1104";
+inline constexpr const char* kDiabetesLo = "1200";
+inline constexpr const char* kDiabetesHi = "1214";
+inline constexpr const char* kBackgroundDiseaseLo = "3000";
+inline constexpr const char* kBackgroundDiseaseHi = "3999";
+// medicine classes (IY)
+inline constexpr const char* kAntihypertensiveLo = "5000";
+inline constexpr const char* kAntihypertensiveHi = "5019";
+inline constexpr const char* kAntimicrobialLo = "5100";
+inline constexpr const char* kAntimicrobialHi = "5119";
+inline constexpr const char* kGlp1Lo = "5200";
+inline constexpr const char* kGlp1Hi = "5204";
+inline constexpr const char* kBackgroundMedicineLo = "7000";
+inline constexpr const char* kBackgroundMedicineHi = "7999";
+}  // namespace codes
+
+struct ClaimsConfig {
+  uint64_t num_claims = 20000;
+  uint64_t seed = 20240612;
+  /// Cohort rates: probability a claim carries the condition; given the
+  /// condition, the treatment probability below decides whether the
+  /// matching medicine class is prescribed.
+  double hypertension_rate = 0.08;
+  double hypertension_treated = 0.7;
+  double acne_rate = 0.02;
+  double acne_treated = 0.5;
+  double diabetes_rate = 0.04;
+  double diabetes_treated = 0.3;
+};
+
+/// Generated raw dataset: one text blob per claim plus the parsed structs
+/// (the structs double as ground truth for the test oracles).
+struct ClaimsData {
+  ClaimsConfig config;
+  std::vector<std::string> raw;     ///< FormatClaim output per claim
+  std::vector<Claim> parsed;        ///< same order as `raw`
+
+  uint64_t total_sub_records() const;
+};
+
+ClaimsData GenerateClaims(const ClaimsConfig& config);
+
+}  // namespace lakeharbor::claims

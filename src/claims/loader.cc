@@ -1,0 +1,187 @@
+#include "claims/loader.h"
+
+#include "common/string_util.h"
+#include "io/key_codec.h"
+
+namespace lakeharbor::claims {
+
+namespace {
+
+uint32_t ResolvePartitions(rede::Engine& engine,
+                           const ClaimsLoadOptions& options) {
+  return options.partitions == 0 ? engine.cluster().num_nodes()
+                                 : options.partitions;
+}
+
+/// Load '|'-delimited rows keyed by (encoded claim_id, encoded seq).
+Status LoadDetailTable(rede::Engine& engine, const char* name,
+                       const std::vector<std::string>& rows,
+                       uint32_t partitions, size_t fanout) {
+  auto file = std::make_shared<io::PartitionedFile>(
+      name, std::make_shared<io::HashPartitioner>(partitions),
+      &engine.cluster(), fanout);
+  for (const std::string& row : rows) {
+    LH_ASSIGN_OR_RETURN(int64_t claim_id, ParseInt64(FieldAt(row, '|', 0)));
+    LH_ASSIGN_OR_RETURN(int64_t seq, ParseInt64(FieldAt(row, '|', 1)));
+    std::string pkey = io::EncodeInt64Key(claim_id);
+    std::string key = io::ComposeKey(pkey, io::EncodeInt64Key(seq));
+    LH_RETURN_NOT_OK(
+        file->Append(pkey, std::move(key), io::Record(std::string(row))));
+  }
+  file->Seal();
+  return engine.catalog().Register(file);
+}
+
+}  // namespace
+
+Status LoadRawClaims(rede::Engine& engine, const ClaimsData& data,
+                     ClaimsLoadOptions options) {
+  uint32_t partitions = ResolvePartitions(engine, options);
+  auto file = std::make_shared<io::PartitionedFile>(
+      names::kRawClaims, std::make_shared<io::HashPartitioner>(partitions),
+      &engine.cluster(), options.btree_fanout);
+  for (const std::string& raw : data.raw) {
+    io::Record record{std::string(raw)};
+    LH_ASSIGN_OR_RETURN(int64_t id, ExtractClaimId(record));
+    std::string key = io::EncodeInt64Key(id);
+    LH_RETURN_NOT_OK(file->Append(key, key, std::move(record)));
+  }
+  file->Seal();
+  LH_RETURN_NOT_OK(engine.catalog().Register(file));
+
+  // Post-hoc access-method registration: the structure over SY disease
+  // codes is built entirely through schema-on-read extraction from the raw
+  // claims — no normalization, no schema in the lake.
+  index::IndexSpec spec;
+  spec.index_name = names::kRawDiseaseIndex;
+  spec.base_file = names::kRawClaims;
+  spec.placement = index::IndexPlacement::kGlobal;
+  spec.btree_fanout = options.btree_fanout;
+  spec.extract = [](const io::Record& record,
+                    std::vector<index::Posting>* out) {
+    LH_ASSIGN_OR_RETURN(int64_t id, ExtractClaimId(record));
+    std::string target = io::EncodeInt64Key(id);
+    std::vector<std::string> diseases;
+    LH_RETURN_NOT_OK(ExtractDiseaseCodes(record, &diseases));
+    for (auto& code : diseases) {
+      out->push_back(index::Posting{std::move(code), target, target});
+    }
+    return Status::OK();
+  };
+  return engine.BuildStructure(spec, "sy.disease_code").status();
+}
+
+Status LoadWarehouseClaims(rede::Engine& engine, const ClaimsData& data,
+                           ClaimsLoadOptions options) {
+  uint32_t partitions = ResolvePartitions(engine, options);
+  const size_t fanout = options.btree_fanout;
+
+  // Normalize.
+  std::vector<std::string> claim_rows, diagnosis_rows, prescription_rows,
+      treatment_rows;
+  claim_rows.reserve(data.parsed.size());
+  for (const Claim& c : data.parsed) {
+    claim_rows.push_back(StrFormat(
+        "%lld|%lld|%s|%lld|%s|%lld|%s|%lld",
+        static_cast<long long>(c.ir.claim_id),
+        static_cast<long long>(c.ir.hospital_id), c.ir.type.c_str(),
+        static_cast<long long>(c.re.patient_id), c.re.category.c_str(),
+        static_cast<long long>(c.re.age), c.re.sex.c_str(),
+        static_cast<long long>(c.total_expense)));
+    for (size_t i = 0; i < c.diseases.size(); ++i) {
+      diagnosis_rows.push_back(StrFormat(
+          "%lld|%zu|%s|%d", static_cast<long long>(c.ir.claim_id), i,
+          c.diseases[i].disease_code.c_str(), c.diseases[i].primary ? 1 : 0));
+    }
+    for (size_t i = 0; i < c.medicines.size(); ++i) {
+      prescription_rows.push_back(StrFormat(
+          "%lld|%zu|%s|%lld|%lld", static_cast<long long>(c.ir.claim_id), i,
+          c.medicines[i].medicine_code.c_str(),
+          static_cast<long long>(c.medicines[i].quantity),
+          static_cast<long long>(c.medicines[i].points)));
+    }
+    for (size_t i = 0; i < c.treatments.size(); ++i) {
+      treatment_rows.push_back(StrFormat(
+          "%lld|%zu|%s|%lld|%lld", static_cast<long long>(c.ir.claim_id), i,
+          c.treatments[i].treatment_code.c_str(),
+          static_cast<long long>(c.treatments[i].count),
+          static_cast<long long>(c.treatments[i].points)));
+    }
+  }
+
+  // wh.claims keyed by claim_id.
+  auto claims_file = std::make_shared<io::PartitionedFile>(
+      names::kWhClaims, std::make_shared<io::HashPartitioner>(partitions),
+      &engine.cluster(), fanout);
+  for (const std::string& row : claim_rows) {
+    LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
+    std::string key = io::EncodeInt64Key(id);
+    LH_RETURN_NOT_OK(
+        claims_file->Append(key, key, io::Record(std::string(row))));
+  }
+  claims_file->Seal();
+  LH_RETURN_NOT_OK(engine.catalog().Register(claims_file));
+
+  LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhDiagnosis,
+                                   diagnosis_rows, partitions, fanout));
+  LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhPrescription,
+                                   prescription_rows, partitions, fanout));
+  LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhTreatment,
+                                   treatment_rows, partitions, fanout));
+
+  // Global index over diagnosis disease codes.
+  {
+    index::IndexSpec spec;
+    spec.index_name = names::kWhDiseaseIndex;
+    spec.base_file = names::kWhDiagnosis;
+    spec.placement = index::IndexPlacement::kGlobal;
+    spec.btree_fanout = fanout;
+    spec.extract = [](const io::Record& record,
+                      std::vector<index::Posting>* out) {
+      std::string_view row = record.slice().view();
+      index::Posting posting;
+      posting.index_key =
+          std::string(FieldAt(row, '|', wh::diagnosis_tbl::kDiseaseCode));
+      LH_ASSIGN_OR_RETURN(
+          int64_t claim_id,
+          ParseInt64(FieldAt(row, '|', wh::diagnosis_tbl::kClaimId)));
+      LH_ASSIGN_OR_RETURN(
+          int64_t seq, ParseInt64(FieldAt(row, '|', wh::diagnosis_tbl::kSeq)));
+      posting.target_partition_key = io::EncodeInt64Key(claim_id);
+      posting.target_key = io::ComposeKey(posting.target_partition_key,
+                                          io::EncodeInt64Key(seq));
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_RETURN_NOT_OK(engine.BuildStructure(spec, "disease_code").status());
+  }
+  // Global index over prescription claim ids (join support).
+  {
+    index::IndexSpec spec;
+    spec.index_name = names::kWhPrescriptionClaimIndex;
+    spec.base_file = names::kWhPrescription;
+    spec.placement = index::IndexPlacement::kGlobal;
+    spec.btree_fanout = fanout;
+    spec.extract = [](const io::Record& record,
+                      std::vector<index::Posting>* out) {
+      std::string_view row = record.slice().view();
+      index::Posting posting;
+      LH_ASSIGN_OR_RETURN(
+          int64_t claim_id,
+          ParseInt64(FieldAt(row, '|', wh::prescription_tbl::kClaimId)));
+      LH_ASSIGN_OR_RETURN(
+          int64_t seq,
+          ParseInt64(FieldAt(row, '|', wh::prescription_tbl::kSeq)));
+      posting.index_key = io::EncodeInt64Key(claim_id);
+      posting.target_partition_key = posting.index_key;
+      posting.target_key = io::ComposeKey(posting.target_partition_key,
+                                          io::EncodeInt64Key(seq));
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_RETURN_NOT_OK(engine.BuildStructure(spec, "claim_id").status());
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::claims

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "claims/generator.h"
+#include "common/status.h"
+#include "rede/engine.h"
+
+/// \file loader.h
+/// Two deployments of the same claims data, matching the §IV comparison:
+///
+/// LakeHarbor deployment — raw claims stored as-is, one Record per claim,
+/// plus a post-hoc global B-tree structure over the SY disease codes built
+/// from a registered schema-on-read access method.
+///
+/// Warehouse deployment — the data *normalized* into relational tables
+/// (claims, diagnosis, prescription, treatment) with the indexes a
+/// fine-grained-massively-parallel warehouse would use; queries must join
+/// the normalized tables back together, which is what inflates its record
+/// accesses in Fig 9.
+
+namespace lakeharbor::claims {
+
+namespace names {
+// lake deployment
+inline constexpr const char* kRawClaims = "claims.raw";
+inline constexpr const char* kRawDiseaseIndex = "claims.raw.disease.idx";
+// warehouse deployment
+inline constexpr const char* kWhClaims = "wh.claims";
+inline constexpr const char* kWhDiagnosis = "wh.diagnosis";
+inline constexpr const char* kWhPrescription = "wh.prescription";
+inline constexpr const char* kWhTreatment = "wh.treatment";
+inline constexpr const char* kWhDiseaseIndex = "wh.diagnosis.disease.idx";
+inline constexpr const char* kWhPrescriptionClaimIndex =
+    "wh.prescription.claim.idx";
+}  // namespace names
+
+/// Field positions of the normalized '|'-delimited warehouse rows.
+namespace wh {
+namespace claims_tbl {
+inline constexpr size_t kClaimId = 0;
+inline constexpr size_t kHospital = 1;
+inline constexpr size_t kType = 2;
+inline constexpr size_t kPatient = 3;
+inline constexpr size_t kCategory = 4;
+inline constexpr size_t kAge = 5;
+inline constexpr size_t kSex = 6;
+inline constexpr size_t kExpense = 7;
+}  // namespace claims_tbl
+namespace diagnosis_tbl {
+inline constexpr size_t kClaimId = 0;
+inline constexpr size_t kSeq = 1;
+inline constexpr size_t kDiseaseCode = 2;
+inline constexpr size_t kPrimary = 3;
+}  // namespace diagnosis_tbl
+namespace prescription_tbl {
+inline constexpr size_t kClaimId = 0;
+inline constexpr size_t kSeq = 1;
+inline constexpr size_t kMedicineCode = 2;
+inline constexpr size_t kQuantity = 3;
+inline constexpr size_t kPoints = 4;
+}  // namespace prescription_tbl
+namespace treatment_tbl {
+inline constexpr size_t kClaimId = 0;
+inline constexpr size_t kSeq = 1;
+inline constexpr size_t kTreatmentCode = 2;
+inline constexpr size_t kCount = 3;
+inline constexpr size_t kPoints = 4;
+}  // namespace treatment_tbl
+}  // namespace wh
+
+struct ClaimsLoadOptions {
+  uint32_t partitions = 0;  ///< 0 = one per node
+  size_t btree_fanout = 64;
+};
+
+/// Load the raw claims + disease structure into a LakeHarbor engine.
+Status LoadRawClaims(rede::Engine& engine, const ClaimsData& data,
+                     ClaimsLoadOptions options = {});
+
+/// Normalize and load into a warehouse engine (tables + indexes).
+Status LoadWarehouseClaims(rede::Engine& engine, const ClaimsData& data,
+                           ClaimsLoadOptions options = {});
+
+}  // namespace lakeharbor::claims

@@ -1,0 +1,198 @@
+#include "claims/queries.h"
+
+#include <set>
+
+#include "claims/loader.h"
+#include "common/string_util.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+
+namespace lakeharbor::claims {
+
+ClaimsQuery Q1() {
+  return {"Q1-hypertension-antihypertensive", codes::kHypertensionLo,
+          codes::kHypertensionHi, codes::kAntihypertensiveLo,
+          codes::kAntihypertensiveHi};
+}
+
+ClaimsQuery Q2() {
+  return {"Q2-acne-antimicrobial", codes::kAcneLo, codes::kAcneHi,
+          codes::kAntimicrobialLo, codes::kAntimicrobialHi};
+}
+
+ClaimsQuery Q3() {
+  return {"Q3-diabetes-glp1", codes::kDiabetesLo, codes::kDiabetesHi,
+          codes::kGlp1Lo, codes::kGlp1Hi};
+}
+
+std::vector<ClaimsQuery> AllQueries() { return {Q1(), Q2(), Q3()}; }
+
+StatusOr<rede::Job> BuildRawClaimsJob(rede::Engine& engine,
+                                      const ClaimsQuery& query) {
+  io::Catalog& catalog = engine.catalog();
+  LH_ASSIGN_OR_RETURN(auto raw, catalog.Get(names::kRawClaims));
+  LH_ASSIGN_OR_RETURN(auto idx_file, catalog.Get(names::kRawDiseaseIndex));
+  auto idx = std::dynamic_pointer_cast<io::BtreeFile>(idx_file);
+  if (idx == nullptr) {
+    return Status::InvalidArgument("disease index is not a BtreeFile");
+  }
+
+  using namespace rede;  // NOLINT
+  // Medicine-class predicate evaluated with schema-on-read over the *same*
+  // fetched claim record — this is the join the warehouse cannot avoid.
+  Filter medicine_filter = [lo = query.medicine_lo, hi = query.medicine_hi](
+                               const Tuple& tuple) -> StatusOr<bool> {
+    return HasMedicineInRange(tuple.last_record(), lo, hi);
+  };
+  return JobBuilder("claims-raw-" + query.name)
+      .Initial(Tuple::Range(io::Pointer::Broadcast(query.disease_lo),
+                            io::Pointer::Broadcast(query.disease_hi)))
+      .Add(MakeRangeDereferencer("deref0-disease-idx", idx))
+      .Add(MakeIndexEntryReferencer("ref1-claim-ptr"))
+      .Add(MakePointDereferencer("deref1-claim", raw, medicine_filter))
+      .Build();
+}
+
+StatusOr<rede::Job> BuildWarehouseClaimsJob(rede::Engine& engine,
+                                            const ClaimsQuery& query) {
+  io::Catalog& catalog = engine.catalog();
+  LH_ASSIGN_OR_RETURN(auto claims_tbl, catalog.Get(names::kWhClaims));
+  LH_ASSIGN_OR_RETURN(auto diagnosis, catalog.Get(names::kWhDiagnosis));
+  LH_ASSIGN_OR_RETURN(auto prescription, catalog.Get(names::kWhPrescription));
+  LH_ASSIGN_OR_RETURN(auto disease_idx_file,
+                      catalog.Get(names::kWhDiseaseIndex));
+  LH_ASSIGN_OR_RETURN(auto rx_idx, catalog.Get(names::kWhPrescriptionClaimIndex));
+  auto disease_idx =
+      std::dynamic_pointer_cast<io::BtreeFile>(disease_idx_file);
+  if (disease_idx == nullptr) {
+    return Status::InvalidArgument("wh disease index is not a BtreeFile");
+  }
+
+  using namespace rede;  // NOLINT
+  Filter medicine_filter = LastRecordRangeFilter(
+      DelimitedFieldInterpreter(wh::prescription_tbl::kMedicineCode),
+      query.medicine_lo, query.medicine_hi);
+  return JobBuilder("claims-wh-" + query.name)
+      // disease index range -> diagnosis rows
+      .Initial(Tuple::Range(io::Pointer::Broadcast(query.disease_lo),
+                            io::Pointer::Broadcast(query.disease_hi)))
+      .Add(MakeRangeDereferencer("deref0-disease-idx", disease_idx))
+      .Add(MakeIndexEntryReferencer("ref1-diagnosis-ptr"))
+      .Add(MakePointDereferencer("deref1-diagnosis", diagnosis))
+      // diagnosis.claim_id -> prescription index -> prescription rows
+      // (filter on the medicine class)
+      .Add(MakeKeyReferencer(
+          "ref2-claimid",
+          EncodedInt64FieldInterpreter(wh::diagnosis_tbl::kClaimId)))
+      .Add(MakePointDereferencer("deref2-rx-idx", rx_idx))
+      .Add(MakeIndexEntryReferencer("ref3-rx-ptr"))
+      .Add(MakePointDereferencer("deref3-prescription", prescription,
+                                 medicine_filter))
+      // prescription.claim_id -> claims row (the expense)
+      .Add(MakeKeyReferencer(
+          "ref4-claimid",
+          EncodedInt64FieldInterpreter(wh::prescription_tbl::kClaimId)))
+      .Add(MakePointDereferencer("deref4-claims", claims_tbl))
+      .Build();
+}
+
+namespace {
+
+StatusOr<ClaimsAnswer> Dedupe(
+    const std::vector<std::pair<int64_t, int64_t>>& id_expense) {
+  std::set<int64_t> seen;
+  ClaimsAnswer answer;
+  for (const auto& [id, expense] : id_expense) {
+    if (seen.insert(id).second) {
+      ++answer.distinct_claims;
+      answer.total_expense += expense;
+    }
+  }
+  return answer;
+}
+
+}  // namespace
+
+StatusOr<ClaimsAnswer> SummarizeRawOutput(
+    const std::vector<rede::Tuple>& tuples) {
+  std::vector<std::pair<int64_t, int64_t>> id_expense;
+  id_expense.reserve(tuples.size());
+  for (const rede::Tuple& tuple : tuples) {
+    if (tuple.records.empty()) return Status::Internal("empty claims bundle");
+    const io::Record& claim = tuple.last_record();
+    LH_ASSIGN_OR_RETURN(int64_t id, ExtractClaimId(claim));
+    LH_ASSIGN_OR_RETURN(int64_t expense, ExtractTotalExpense(claim));
+    id_expense.emplace_back(id, expense);
+  }
+  return Dedupe(id_expense);
+}
+
+StatusOr<ClaimsAnswer> SummarizeWarehouseOutput(
+    const std::vector<rede::Tuple>& tuples) {
+  std::vector<std::pair<int64_t, int64_t>> id_expense;
+  id_expense.reserve(tuples.size());
+  for (const rede::Tuple& tuple : tuples) {
+    if (tuple.records.empty()) return Status::Internal("empty wh bundle");
+    std::string_view row = tuple.last_record().slice().view();
+    LH_ASSIGN_OR_RETURN(
+        int64_t id, ParseInt64(FieldAt(row, '|', wh::claims_tbl::kClaimId)));
+    LH_ASSIGN_OR_RETURN(
+        int64_t expense,
+        ParseInt64(FieldAt(row, '|', wh::claims_tbl::kExpense)));
+    id_expense.emplace_back(id, expense);
+  }
+  return Dedupe(id_expense);
+}
+
+StatusOr<ClaimsAnswer> RunClaimsScanBaseline(baseline::ScanEngine& engine,
+                                             io::Catalog& catalog,
+                                             const ClaimsQuery& query) {
+  LH_ASSIGN_OR_RETURN(auto raw, catalog.Get(names::kRawClaims));
+  baseline::RecordPredicate predicate =
+      [&query](const io::Record& record) -> StatusOr<bool> {
+    LH_ASSIGN_OR_RETURN(
+        bool disease,
+        HasDiseaseInRange(record, query.disease_lo, query.disease_hi));
+    if (!disease) return false;
+    return HasMedicineInRange(record, query.medicine_lo, query.medicine_hi);
+  };
+  LH_ASSIGN_OR_RETURN(std::vector<baseline::Row> rows,
+                      engine.Scan(*raw, predicate));
+  ClaimsAnswer answer;
+  for (const baseline::Row& row : rows) {
+    if (row.empty()) return Status::Internal("empty scan row");
+    LH_ASSIGN_OR_RETURN(int64_t expense, ExtractTotalExpense(row[0]));
+    ++answer.distinct_claims;  // each claim is one record: no dedup needed
+    answer.total_expense += expense;
+  }
+  return answer;
+}
+
+ClaimsAnswer ClaimsOracle(const ClaimsData& data, const ClaimsQuery& query) {
+  ClaimsAnswer answer;
+  for (const Claim& claim : data.parsed) {
+    bool disease = false;
+    for (const auto& sy : claim.diseases) {
+      if (query.disease_lo <= sy.disease_code &&
+          sy.disease_code <= query.disease_hi) {
+        disease = true;
+        break;
+      }
+    }
+    if (!disease) continue;
+    bool medicine = false;
+    for (const auto& iy : claim.medicines) {
+      if (query.medicine_lo <= iy.medicine_code &&
+          iy.medicine_code <= query.medicine_hi) {
+        medicine = true;
+        break;
+      }
+    }
+    if (!medicine) continue;
+    ++answer.distinct_claims;
+    answer.total_expense += claim.total_expense;
+  }
+  return answer;
+}
+
+}  // namespace lakeharbor::claims

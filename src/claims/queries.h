@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/scan_engine.h"
+#include "claims/generator.h"
+#include "rede/engine.h"
+
+/// \file queries.h
+/// The three case-study queries of §IV / Fig 9 — "calculate medical
+/// expenses charged to medical care prescribing <medicine class> for
+/// <disease class>" — expressed against both deployments:
+///
+///   warehouse (normalized): disease index -> diagnosis rows -> claim's
+///   prescription index -> prescription rows (filter medicine class) ->
+///   claims row. Joins back what normalization took apart.
+///
+///   LakeHarbor (raw): disease index -> the ONE raw claim record; the
+///   medicine-class predicate and the expense are read from that same
+///   record with schema-on-read. No joins.
+///
+/// Both are Reference-Dereference jobs executed with SMPE — the Fig 9
+/// point is that the *number of record accesses* differs, not the engine.
+
+namespace lakeharbor::claims {
+
+struct ClaimsQuery {
+  std::string name;
+  std::string disease_lo, disease_hi;    // inclusive code range
+  std::string medicine_lo, medicine_hi;  // inclusive code range
+};
+
+/// Q1 hypertension/antihypertensives, Q2 acne/antimicrobials,
+/// Q3 diabetes/GLP-1.
+ClaimsQuery Q1();
+ClaimsQuery Q2();
+ClaimsQuery Q3();
+std::vector<ClaimsQuery> AllQueries();
+
+/// Build the LakeHarbor-deployment job (engine loaded via LoadRawClaims).
+/// Output tuples end with the matching raw claim record.
+StatusOr<rede::Job> BuildRawClaimsJob(rede::Engine& engine,
+                                      const ClaimsQuery& query);
+
+/// Build the warehouse-deployment job (engine loaded via
+/// LoadWarehouseClaims). Output tuples are [diagnosis, prescription,
+/// claims] rows.
+StatusOr<rede::Job> BuildWarehouseClaimsJob(rede::Engine& engine,
+                                            const ClaimsQuery& query);
+
+/// Query answer: distinct qualifying claims and the summed HO expense
+/// (deduplicated by claim id — a claim with several matching diagnoses or
+/// prescriptions is charged once).
+struct ClaimsAnswer {
+  uint64_t distinct_claims = 0;
+  int64_t total_expense = 0;
+
+  bool operator==(const ClaimsAnswer& other) const {
+    return distinct_claims == other.distinct_claims &&
+           total_expense == other.total_expense;
+  }
+};
+
+StatusOr<ClaimsAnswer> SummarizeRawOutput(
+    const std::vector<rede::Tuple>& tuples);
+StatusOr<ClaimsAnswer> SummarizeWarehouseOutput(
+    const std::vector<rede::Tuple>& tuples);
+
+/// Ground-truth answer from the generated structs.
+ClaimsAnswer ClaimsOracle(const ClaimsData& data, const ClaimsQuery& query);
+
+/// The plain data-lake approach of §IV ("storing it in a raw form in a
+/// data lake system ... slow performance due to a full data scan with the
+/// statically defined parallelism"): scan every raw claim, evaluate both
+/// class predicates schema-on-read, no structures. The paper's Fig 9
+/// footnote omits this system because it was "a lot slower"; our harness
+/// includes it as an extra series so the omission is quantified.
+StatusOr<ClaimsAnswer> RunClaimsScanBaseline(baseline::ScanEngine& engine,
+                                             io::Catalog& catalog,
+                                             const ClaimsQuery& query);
+
+}  // namespace lakeharbor::claims

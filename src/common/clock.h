@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lakeharbor {
+
+/// Monotonic wall-clock helpers used by benchmarks and executor metrics.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch over the steady clock.
+class StopWatch {
+ public:
+  StopWatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace lakeharbor

@@ -1,0 +1,23 @@
+#include "common/hash.h"
+
+namespace lakeharbor {
+
+uint64_t Fnv1a64(Slice data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashInt64(int64_t key) { return Mix64(static_cast<uint64_t>(key)); }
+
+}  // namespace lakeharbor

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace lakeharbor {
+
+/// 64-bit FNV-1a over arbitrary bytes. Deterministic across platforms, used
+/// for hash partitioning so that data placement is reproducible.
+uint64_t Fnv1a64(Slice data);
+
+/// splitmix64 finalizer — cheap integer mixing for numeric keys.
+uint64_t Mix64(uint64_t x);
+
+/// Hash of a signed integer key (two's-complement bytes, mixed).
+uint64_t HashInt64(int64_t key);
+
+}  // namespace lakeharbor

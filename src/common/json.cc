@@ -1,0 +1,434 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace lakeharbor {
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::MakeNumber(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  LH_CHECK_MSG(is_bool(), "json value is not a bool");
+  return bool_;
+}
+
+double Json::AsNumber() const {
+  LH_CHECK_MSG(is_number(), "json value is not a number");
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  LH_CHECK_MSG(is_string(), "json value is not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::AsArray() const {
+  LH_CHECK_MSG(is_array(), "json value is not an array");
+  return array_;
+}
+
+const std::map<std::string, Json>& Json::AsObject() const {
+  LH_CHECK_MSG(is_object(), "json value is not an object");
+  return object_;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const Json* Json::FindPath(const std::string& dotted_path) const {
+  const Json* current = this;
+  size_t start = 0;
+  while (current != nullptr && start <= dotted_path.size()) {
+    size_t dot = dotted_path.find('.', start);
+    std::string key = dot == std::string::npos
+                          ? dotted_path.substr(start)
+                          : dotted_path.substr(start, dot - start);
+    current = current->Find(key);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return current;
+}
+
+void Json::Append(Json value) {
+  LH_CHECK_MSG(is_array(), "Append on non-array json value");
+  array_.push_back(std::move(value));
+}
+
+void Json::Set(const std::string& key, Json value) {
+  LH_CHECK_MSG(is_object(), "Set on non-object json value");
+  object_[key] = std::move(value);
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const Json& value, std::string* out);
+
+void DumpNumber(double v, std::string* out) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+void DumpInto(const Json& value, std::string* out) {
+  switch (value.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      DumpNumber(value.AsNumber(), out);
+      break;
+    case Json::Type::kString:
+      EscapeInto(value.AsString(), out);
+      break;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : value.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : value.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        DumpInto(item, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    LH_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::Corruption("json parse error at offset " +
+                              std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue() {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    StatusOr<Json> result = [&]() -> StatusOr<Json> {
+      switch (text_[pos_]) {
+        case '{':
+          return ParseObject();
+        case '[':
+          return ParseArray();
+        case '"':
+          return ParseString();
+        case 't':
+        case 'f':
+          return ParseBool();
+        case 'n':
+          return ParseNull();
+        default:
+          return ParseNumber();
+      }
+    }();
+    --depth_;
+    return result;
+  }
+
+  StatusOr<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json object = Json::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      LH_ASSIGN_OR_RETURN(Json key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      LH_ASSIGN_OR_RETURN(Json value, ParseValue());
+      object.Set(key.AsString(), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return object;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Json> ParseArray() {
+    ++pos_;  // '['
+    Json array = Json::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      LH_ASSIGN_OR_RETURN(Json value, ParseValue());
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return array;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<Json> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Json::MakeString(std::move(out));
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("bad escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad hex digit in \\u escape");
+              }
+            }
+            // Encode the BMP code point as UTF-8 (surrogates unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<Json> ParseBool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return Json::MakeBool(true);
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return Json::MakeBool(false);
+    }
+    return Error("bad literal");
+  }
+
+  StatusOr<Json> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Json();
+    }
+    return Error("bad literal");
+  }
+
+  StatusOr<Json> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char buf[64];
+    size_t len = pos_ - start;
+    if (len >= sizeof(buf)) return Error("number too long");
+    std::memcpy(buf, text_.data() + start, len);
+    buf[len] = '\0';
+    char* end = nullptr;
+    double v = std::strtod(buf, &end);
+    if (end != buf + len) return Error("bad number");
+    return Json::MakeNumber(v);
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace lakeharbor

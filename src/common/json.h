@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+/// \file json.h
+/// A minimal JSON document model and parser, built as the substrate for the
+/// FHIR-style nested records of §IV ("FHIR has a similar design to the
+/// Japanese insurance claims format, employing the nested record
+/// organization"). Schema-on-read Interpreters walk these documents the
+/// same way the claims Interpreters walk the IR/RE/... sub-records.
+///
+/// Supported: objects, arrays, strings (with escapes incl. \uXXXX basic
+/// multilingual plane), numbers (double), booleans, null. Input must be a
+/// single complete document; trailing garbage is an error.
+
+namespace lakeharbor {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json MakeBool(bool b);
+  static Json MakeNumber(double v);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; calling the wrong one aborts (programmer error).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Json>& AsArray() const;
+  const std::map<std::string, Json>& AsObject() const;
+
+  /// Object field lookup; returns null when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  /// Dotted-path lookup across nested objects ("code.coding").
+  const Json* FindPath(const std::string& dotted_path) const;
+
+  /// Mutators (builder-style).
+  void Append(Json value);                      // arrays
+  void Set(const std::string& key, Json value); // objects
+
+  /// Serialize (stable field order: std::map). Not pretty-printed.
+  std::string Dump() const;
+
+  /// Parse one complete document.
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace lakeharbor

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lakeharbor {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal thread-safe logger writing to stderr. Verbosity is a process-wide
+/// setting; tests default it to kWarn to keep output quiet.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LH_LOG(level)                                                 \
+  if (::lakeharbor::LogLevel::level >= ::lakeharbor::Logger::GetLevel()) \
+  ::lakeharbor::internal::LogMessage(::lakeharbor::LogLevel::level).stream()
+
+#define LH_LOG_DEBUG LH_LOG(kDebug)
+#define LH_LOG_INFO LH_LOG(kInfo)
+#define LH_LOG_WARN LH_LOG(kWarn)
+#define LH_LOG_ERROR LH_LOG(kError)
+
+}  // namespace lakeharbor

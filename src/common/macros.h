@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file macros.h
+/// Invariant-checking macros for programmer errors. Recoverable failures use
+/// Status/StatusOr instead; a failed CHECK aborts the process.
+
+#define LH_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define LH_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg,  \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define LH_DCHECK(cond) LH_CHECK(cond)
+#else
+#define LH_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#endif
+
+/// Propagate a non-ok Status from an expression returning Status.
+#define LH_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::lakeharbor::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluate an expression returning StatusOr<T>; on error return the Status,
+/// otherwise bind the value to `lhs`.
+#define LH_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                             \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value()
+
+#define LH_CONCAT_INNER(a, b) a##b
+#define LH_CONCAT(a, b) LH_CONCAT_INNER(a, b)
+
+#define LH_ASSIGN_OR_RETURN(lhs, rexpr) \
+  LH_ASSIGN_OR_RETURN_IMPL(LH_CONCAT(_status_or_, __LINE__), lhs, rexpr)
+
+#define LH_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;         \
+  TypeName& operator=(const TypeName&) = delete

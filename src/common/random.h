@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace lakeharbor {
+
+/// Deterministic xoshiro256**-based PRNG. Used by the data generators so
+/// that datasets (and therefore experiment results) are reproducible from a
+/// seed alone, independent of the standard library implementation.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // seed via splitmix64 so that nearby seeds give unrelated streams.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    LH_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    LH_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random uppercase-alphanumeric string of length n.
+  std::string NextString(size_t n) {
+    static const char kAlphabet[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(kAlphabet[Uniform(36)]);
+    return out;
+  }
+
+  /// Zipf-like skewed pick in [0, n) via the inverse transform of the
+  /// continuous density p(x) ~ x^{-theta} on [1, n+1). Cheap approximation,
+  /// good enough for skewed foreign-key popularity in synthetic workloads.
+  uint64_t Skewed(uint64_t n, double theta = 0.99) {
+    LH_DCHECK(n > 0);
+    if (theta >= 1.0) theta = 0.999;  // avoid the log-form special case
+    const double u = NextDouble();
+    const double a = 1.0 - theta;
+    const double lo = 1.0, hi = static_cast<double>(n) + 1.0;
+    const double num = u * (PowA(hi, a) - PowA(lo, a)) + PowA(lo, a);
+    const double x = PowA(num, 1.0 / a);
+    const uint64_t idx = static_cast<uint64_t>(x) - 1;
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double PowA(double base, double exp) {
+    return __builtin_pow(base, exp);
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace lakeharbor

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace lakeharbor {
+
+/// A non-owning view over a byte range (RocksDB-style). Thin wrapper around
+/// std::string_view that adds the couple of helpers the storage layer wants.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const char* data, size_t size) : view_(data, size) {}
+  Slice(const std::string& s) : view_(s) {}              // NOLINT implicit
+  Slice(const char* cstr) : view_(cstr) {}               // NOLINT implicit
+  Slice(std::string_view v) : view_(v) {}                // NOLINT implicit
+
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  char operator[](size_t i) const { return view_[i]; }
+
+  std::string ToString() const { return std::string(view_); }
+  std::string_view view() const { return view_; }
+
+  /// Drop the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) { view_.remove_prefix(n); }
+
+  bool StartsWith(Slice prefix) const {
+    return view_.substr(0, prefix.size()) == prefix.view_;
+  }
+
+  int Compare(Slice other) const { return view_.compare(other.view_); }
+
+  friend bool operator==(Slice a, Slice b) { return a.view_ == b.view_; }
+  friend bool operator!=(Slice a, Slice b) { return a.view_ != b.view_; }
+  friend bool operator<(Slice a, Slice b) { return a.view_ < b.view_; }
+
+ private:
+  std::string_view view_;
+};
+
+}  // namespace lakeharbor

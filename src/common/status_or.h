@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace lakeharbor {
+
+/// StatusOr<T> holds either a value of T or a non-ok Status.
+/// Accessing value() on an error aborts (programmer error); callers must
+/// check ok() or use LH_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value.
+  StatusOr(T value) : value_(std::move(value)) {}
+  /// Implicit from error Status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    LH_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+
+  const T& value() const& {
+    LH_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    LH_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    LH_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alt` when this holds an error.
+  T value_or(T alt) const& { return ok() ? *value_ : std::move(alt); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lakeharbor

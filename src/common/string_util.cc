@@ -1,0 +1,119 @@
+#include "common/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lakeharbor {
+
+std::vector<std::string_view> SplitView(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  for (auto v : SplitView(s, delim)) out.emplace_back(v);
+  return out;
+}
+
+std::string_view FieldAt(std::string_view s, char delim, size_t i) {
+  size_t start = 0;
+  for (size_t field = 0;; ++field) {
+    size_t pos = s.find(delim, start);
+    if (field == i) {
+      return pos == std::string_view::npos ? s.substr(start)
+                                           : s.substr(start, pos - start);
+    }
+    if (pos == std::string_view::npos) return {};
+    start = pos + 1;
+  }
+}
+
+size_t FieldCount(std::string_view s, char delim) {
+  size_t n = 1;
+  for (char c : s) {
+    if (c == delim) ++n;
+  }
+  return n;
+}
+
+std::string Join(const std::vector<std::string>& parts, char delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    out += parts[i];
+  }
+  return out;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  // strtoll needs a NUL terminator; copy into a small buffer.
+  char buf[32];
+  if (s.size() >= sizeof(buf)) {
+    return Status::InvalidArgument("integer field too long: " +
+                                   std::string(s));
+  }
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + s.size()) {
+    return Status::InvalidArgument("bad integer field: " + std::string(s));
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty double field");
+  char buf[64];
+  if (s.size() >= sizeof(buf)) {
+    return Status::InvalidArgument("double field too long: " +
+                                   std::string(s));
+  }
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + s.size()) {
+    return Status::InvalidArgument("bad double field: " + std::string(s));
+  }
+  return v;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<size_t>(len));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool StartsWith(std::string_view value, std::string_view prefix) {
+  return value.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace lakeharbor

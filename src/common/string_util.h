@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+/// \file string_util.h
+/// Delimited-text helpers. Records in LakeHarbor are raw bytes and all the
+/// shipped datasets (TPC-H, insurance claims) are delimited text, so these
+/// small parsers are the substrate of every schema-on-read Interpreter.
+
+namespace lakeharbor {
+
+/// Split `s` on `delim`. Keeps empty fields ("a||b" -> {"a","","b"}).
+std::vector<std::string_view> SplitView(std::string_view s, char delim);
+
+/// Split into owned strings.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Return the i-th delimited field of `s` without materializing a vector.
+/// Returns empty view when there are fewer than i+1 fields.
+std::string_view FieldAt(std::string_view s, char delim, size_t i);
+
+/// Count of delimited fields in `s` (empty string -> 1 field).
+size_t FieldCount(std::string_view s, char delim);
+
+/// Join with delimiter.
+std::string Join(const std::vector<std::string>& parts, char delim);
+
+/// Strict integer parse of the full string.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// Strict floating-point parse of the full string.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True when `value` starts with `prefix`.
+bool StartsWith(std::string_view value, std::string_view prefix);
+
+}  // namespace lakeharbor

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace lakeharbor {
+
+/// Tracks outstanding fine-grained tasks so the SMPE executor can detect
+/// quiescence ("until all tasks are finished" in Algorithm 1). A task in
+/// flight must be registered *before* it is enqueued, and a task spawning
+/// children registers the children before finishing itself, so the count can
+/// only reach zero when the whole task DAG has drained.
+class InflightTracker {
+ public:
+  InflightTracker() = default;
+  LH_DISALLOW_COPY_AND_ASSIGN(InflightTracker);
+
+  void Add(int64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ += n;
+  }
+
+  void Done(int64_t n = 1) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    count_ -= n;
+    LH_CHECK_MSG(count_ >= 0, "InflightTracker underflow");
+    if (count_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  /// Blocks until the in-flight count reaches zero.
+  void AwaitZero() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int64_t count_ = 0;
+};
+
+}  // namespace lakeharbor

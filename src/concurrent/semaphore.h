@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace lakeharbor {
+
+/// Counting semaphore with a runtime-chosen permit count (std::counting_
+/// semaphore fixes the maximum at compile time). Models bounded device
+/// concurrency in sim::Disk — the queue-depth analogue of the paper's
+/// `queue_depth=1008` setting.
+class Semaphore {
+ public:
+  explicit Semaphore(size_t permits) : permits_(permits) {}
+  LH_DISALLOW_COPY_AND_ASSIGN(Semaphore);
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (permits_ == 0) return false;
+    --permits_;
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++permits_;
+    }
+    cv_.notify_one();
+  }
+
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return permits_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t permits_;
+};
+
+/// RAII permit holder.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& sem) : sem_(sem) { sem_.Acquire(); }
+  ~SemaphoreGuard() { sem_.Release(); }
+  LH_DISALLOW_COPY_AND_ASSIGN(SemaphoreGuard);
+
+ private:
+  Semaphore& sem_;
+};
+
+}  // namespace lakeharbor

@@ -1,0 +1,68 @@
+#include "index/bloom.h"
+
+#include <algorithm>
+
+namespace lakeharbor::index {
+
+BloomFilter::BloomFilter(size_t expected_keys, double false_positive_rate) {
+  LH_CHECK_MSG(false_positive_rate > 0 && false_positive_rate < 1,
+               "false-positive rate must be in (0, 1)");
+  expected_keys = std::max<size_t>(1, expected_keys);
+  // Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = 0.6931471805599453;
+  double bits = -static_cast<double>(expected_keys) *
+                std::log(false_positive_rate) / (ln2 * ln2);
+  num_bits_ = std::max<size_t>(64, static_cast<size_t>(bits));
+  num_hashes_ = std::max<size_t>(
+      1, static_cast<size_t>(std::round(
+             bits / static_cast<double>(expected_keys) * ln2)));
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(Slice key) {
+  auto [h1, h2] = BaseHashes(key);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MightContain(Slice key) const {
+  auto [h1, h2] = BaseHashes(key);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+StatusOr<PartitionBloom> PartitionBloom::Build(io::PartitionedFile& file,
+                                               double false_positive_rate) {
+  PartitionBloom bloom;
+  bloom.filters_.reserve(file.num_partitions());
+  for (uint32_t p = 0; p < file.num_partitions(); ++p) {
+    auto filter = std::make_unique<BloomFilter>(
+        static_cast<size_t>(file.partition_records(p)), false_positive_rate);
+    LH_RETURN_NOT_OK(file.ScanPartitionKeyed(
+        file.NodeOfPartition(p), p,
+        [&](const std::string& key, const io::Record&) {
+          filter->Add(key);
+          return true;
+        }));
+    bloom.filters_.push_back(std::move(filter));
+  }
+  return bloom;
+}
+
+bool PartitionBloom::MightContain(uint32_t partition, Slice key) const {
+  if (partition >= filters_.size()) return true;  // unknown: must probe
+  return filters_[partition]->MightContain(key);
+}
+
+size_t PartitionBloom::memory_bytes() const {
+  size_t total = 0;
+  for (const auto& filter : filters_) total += filter->memory_bytes();
+  return total;
+}
+
+}  // namespace lakeharbor::index

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status_or.h"
+#include "io/partitioned_file.h"
+
+namespace lakeharbor::index {
+
+/// A Bloom filter over opaque keys (double hashing over FNV-1a/mix64).
+/// Structures in LakeHarbor are not only B-trees: a membership filter is
+/// the cheapest structure that makes *broadcast* point lookups affordable,
+/// by skipping partitions that certainly lack the key.
+class BloomFilter {
+ public:
+  /// Sized for `expected_keys` at the given false-positive rate.
+  BloomFilter(size_t expected_keys, double false_positive_rate = 0.01);
+
+  void Add(Slice key);
+  bool MightContain(Slice key) const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+  size_t memory_bytes() const { return bits_.size() * sizeof(uint64_t); }
+
+ private:
+  std::pair<uint64_t, uint64_t> BaseHashes(Slice key) const {
+    uint64_t h1 = Fnv1a64(key);
+    uint64_t h2 = Mix64(h1) | 1;  // odd, so probe strides cover the table
+    return {h1, h2};
+  }
+
+  size_t num_bits_;
+  size_t num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+/// One BloomFilter per partition of a file, built with a charged scan —
+/// the structure-maintenance path for membership structures. Thread-safe
+/// for concurrent reads once built.
+class PartitionBloom {
+ public:
+  /// Scan `file` and build per-partition filters over the in-partition
+  /// keys.
+  static StatusOr<PartitionBloom> Build(io::PartitionedFile& file,
+                                        double false_positive_rate = 0.01);
+
+  /// False means the partition definitely lacks the key; true means it
+  /// might hold it (probe required).
+  bool MightContain(uint32_t partition, Slice key) const;
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(filters_.size());
+  }
+  size_t memory_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<BloomFilter>> filters_;
+};
+
+}  // namespace lakeharbor::index

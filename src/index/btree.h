@@ -1,0 +1,224 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace lakeharbor::index {
+
+/// An in-memory B+tree with duplicate-key support, modelling the on-disk
+/// B-tree structures LakeHarbor builds over lake data. Inner nodes hold
+/// separator keys; all values live in leaves, which are chained for range
+/// scans. Keys are opaque byte strings in order-preserving encoding (see
+/// io/key_codec.h), so one tree type serves integer, double, and date keys.
+///
+/// The tree is the in-partition storage of both PartitionedFile (primary
+/// order) and BtreeFile (secondary/global indexes). Fanout is configurable
+/// so tests can force deep trees.
+///
+/// Thread-safety: concurrent readers are safe once loading is finished;
+/// Insert is not thread-safe (files are sealed before queries run, matching
+/// the lazy background build model of §III-D).
+template <typename V>
+class Btree {
+ public:
+  explicit Btree(size_t fanout = 64) : fanout_(fanout) {
+    LH_CHECK_MSG(fanout_ >= 4, "btree fanout must be >= 4");
+    root_ = MakeLeaf();
+    first_leaf_ = static_cast<Leaf*>(root_.get());
+  }
+  LH_DISALLOW_COPY_AND_ASSIGN(Btree);
+
+  using Visitor = std::function<bool(const std::string& key, const V& value)>;
+
+  /// Insert a key/value pair. Duplicate keys are allowed and kept in
+  /// insertion order among equals.
+  void Insert(std::string key, V value) {
+    InsertResult result = InsertRec(root_.get(), std::move(key),
+                                    std::move(value));
+    if (result.split_right != nullptr) {
+      // Root split: grow the tree by one level.
+      auto new_root = std::make_unique<Inner>();
+      new_root->keys.push_back(std::move(result.split_key));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(result.split_right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    ++size_;
+  }
+
+  /// Collect every value whose key equals `key`.
+  void Get(const std::string& key, std::vector<V>* out) const {
+    const Leaf* leaf = FindLeaf(key);
+    while (leaf != nullptr) {
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      size_t i = static_cast<size_t>(it - leaf->keys.begin());
+      if (i == leaf->keys.size()) {
+        leaf = leaf->next;
+        continue;
+      }
+      for (; i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i] != key) return;
+        out->push_back(leaf->values[i]);
+      }
+      leaf = leaf->next;  // duplicates may spill into the next leaf
+    }
+  }
+
+  /// Visit every pair with lo <= key <= hi in key order. The visitor
+  /// returns false to stop early.
+  void GetRange(const std::string& lo, const std::string& hi,
+                const Visitor& visit) const {
+    if (hi < lo) return;
+    const Leaf* leaf = FindLeaf(lo);
+    while (leaf != nullptr) {
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+      for (size_t i = static_cast<size_t>(it - leaf->keys.begin());
+           i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i] > hi) return;
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Visit every pair in key order.
+  void Scan(const Visitor& visit) const {
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t height() const { return height_; }
+  size_t fanout() const { return fanout_; }
+
+  /// Structural invariant check for tests: key ordering within and across
+  /// leaves, separator consistency, and size agreement. Aborts on violation.
+  void CheckInvariants() const {
+    size_t counted = 0;
+    std::string prev;
+    bool first = true;
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      for (const auto& k : leaf->keys) {
+        if (!first) LH_CHECK_MSG(prev <= k, "btree key order violated");
+        prev = k;
+        first = false;
+        ++counted;
+      }
+      LH_CHECK_MSG(leaf->keys.size() == leaf->values.size(),
+                   "leaf key/value size mismatch");
+    }
+    LH_CHECK_MSG(counted == size_, "btree size mismatch");
+  }
+
+ private:
+  struct Node {
+    virtual ~Node() = default;
+    virtual bool is_leaf() const = 0;
+  };
+  struct Leaf final : Node {
+    bool is_leaf() const override { return true; }
+    std::vector<std::string> keys;
+    std::vector<V> values;
+    Leaf* next = nullptr;
+  };
+  struct Inner final : Node {
+    bool is_leaf() const override { return false; }
+    // children[i] covers keys < keys[i]; children.back() covers the rest.
+    std::vector<std::string> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct InsertResult {
+    std::string split_key;
+    std::unique_ptr<Node> split_right;  // null when no split happened
+  };
+
+  std::unique_ptr<Node> MakeLeaf() { return std::make_unique<Leaf>(); }
+
+  /// Descend to the LEFTMOST leaf that can contain `key`. A separator equals
+  /// the first key of its right child, and a run of duplicates can straddle
+  /// a split, so the left sibling may hold keys equal to the separator —
+  /// hence lower_bound here (lookups) vs upper_bound in InsertRec (inserts
+  /// go after existing equals).
+  const Leaf* FindLeaf(const std::string& key) const {
+    const Node* node = root_.get();
+    while (!node->is_leaf()) {
+      const Inner* inner = static_cast<const Inner*>(node);
+      auto it = std::lower_bound(inner->keys.begin(), inner->keys.end(), key);
+      size_t i = static_cast<size_t>(it - inner->keys.begin());
+      node = inner->children[i].get();
+    }
+    return static_cast<const Leaf*>(node);
+  }
+
+  InsertResult InsertRec(Node* node, std::string key, V value) {
+    if (node->is_leaf()) {
+      Leaf* leaf = static_cast<Leaf*>(node);
+      // upper_bound keeps equal keys in insertion order.
+      auto it = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      size_t i = static_cast<size_t>(it - leaf->keys.begin());
+      leaf->keys.insert(leaf->keys.begin() + i, std::move(key));
+      leaf->values.insert(leaf->values.begin() + i, std::move(value));
+      if (leaf->keys.size() <= fanout_) return {};
+      // Split the leaf in half.
+      auto right = std::make_unique<Leaf>();
+      size_t mid = leaf->keys.size() / 2;
+      right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                         std::make_move_iterator(leaf->keys.end()));
+      right->values.assign(
+          std::make_move_iterator(leaf->values.begin() + mid),
+          std::make_move_iterator(leaf->values.end()));
+      leaf->keys.resize(mid);
+      leaf->values.resize(mid);
+      right->next = leaf->next;
+      leaf->next = right.get();
+      InsertResult result;
+      result.split_key = right->keys.front();
+      result.split_right = std::move(right);
+      return result;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    auto it = std::upper_bound(inner->keys.begin(), inner->keys.end(), key);
+    size_t i = static_cast<size_t>(it - inner->keys.begin());
+    InsertResult child_result =
+        InsertRec(inner->children[i].get(), std::move(key), std::move(value));
+    if (child_result.split_right == nullptr) return {};
+    inner->keys.insert(inner->keys.begin() + i,
+                       std::move(child_result.split_key));
+    inner->children.insert(inner->children.begin() + i + 1,
+                           std::move(child_result.split_right));
+    if (inner->keys.size() <= fanout_) return {};
+    // Split the inner node; the middle key moves up.
+    auto right = std::make_unique<Inner>();
+    size_t mid = inner->keys.size() / 2;
+    InsertResult result;
+    result.split_key = std::move(inner->keys[mid]);
+    right->keys.assign(std::make_move_iterator(inner->keys.begin() + mid + 1),
+                       std::make_move_iterator(inner->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(inner->children.begin() + mid + 1),
+        std::make_move_iterator(inner->children.end()));
+    inner->keys.resize(mid);
+    inner->children.resize(mid + 1);
+    result.split_right = std::move(right);
+    return result;
+  }
+
+  size_t fanout_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  std::unique_ptr<Node> root_;
+  Leaf* first_leaf_ = nullptr;
+};
+
+}  // namespace lakeharbor::index

@@ -1,0 +1,114 @@
+#include "index/index_builder.h"
+
+#include "index/index_entry.h"
+
+namespace lakeharbor::index {
+
+const char* IndexPlacementToString(IndexPlacement placement) {
+  switch (placement) {
+    case IndexPlacement::kLocal:
+      return "local";
+    case IndexPlacement::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+StatusOr<std::shared_ptr<io::BtreeFile>> IndexBuilder::Build(
+    const IndexSpec& spec) {
+  if (!spec.extract) {
+    return Status::InvalidArgument("index spec '" + spec.index_name +
+                                   "' has no posting extractor");
+  }
+  LH_ASSIGN_OR_RETURN(std::shared_ptr<io::File> base,
+                      catalog_->Get(spec.base_file));
+  sim::Cluster* cluster = base->cluster();
+
+  // Local indexes share placement with the base (partition i ~ base
+  // partition i); global ones are partitioned by the index key — hashed by
+  // default, or by a caller-supplied (e.g. range) partitioner.
+  std::shared_ptr<io::Partitioner> partitioner = spec.partitioner;
+  if (partitioner == nullptr || spec.placement == IndexPlacement::kLocal) {
+    partitioner = std::make_shared<io::HashPartitioner>(
+        base->num_partitions());
+  }
+  const uint32_t num_partitions = partitioner->num_partitions();
+  if (spec.placement == IndexPlacement::kLocal) {
+    LH_CHECK_MSG(num_partitions == base->num_partitions(),
+                 "local index partitions must mirror the base file");
+  }
+  auto index = std::make_shared<io::BtreeFile>(
+      spec.index_name, std::move(partitioner), cluster, spec.btree_fanout);
+
+  std::vector<Posting> postings;
+  // Entry writes are buffered per target partition and charged one page at
+  // a time, as a buffered bulk build would.
+  std::vector<size_t> pending_bytes(num_partitions, 0);
+  const size_t batch = spec.write_batch_bytes == 0 ? 1 : spec.write_batch_bytes;
+  const uint32_t base_partitions = base->num_partitions();
+  for (uint32_t p = 0; p < base_partitions; ++p) {
+    // The build runs "on" the node owning the base partition, so the scan
+    // is local; entry writes may cross the network for global indexes.
+    sim::NodeId build_node = base->NodeOfPartition(p);
+    Status scan_status = Status::OK();
+    Status status = base->ScanPartition(
+        build_node, p, [&](const io::Record& record) {
+          postings.clear();
+          scan_status = spec.extract(record, &postings);
+          if (!scan_status.ok()) return false;
+          for (auto& posting : postings) {
+            io::Record entry = MakeIndexEntry(posting.target_partition_key,
+                                              posting.target_key);
+            uint32_t target_partition =
+                spec.placement == IndexPlacement::kLocal
+                    ? p
+                    : index->partitioner().PartitionOf(posting.index_key);
+            pending_bytes[target_partition] +=
+                entry.size() + posting.index_key.size();
+            if (pending_bytes[target_partition] >= batch) {
+              scan_status = cluster->ChargeWrite(
+                  build_node, index->NodeOfPartition(target_partition),
+                  pending_bytes[target_partition]);
+              pending_bytes[target_partition] = 0;
+              if (!scan_status.ok()) return false;
+            }
+            scan_status = index->AppendToPartition(
+                target_partition, std::move(posting.index_key),
+                std::move(entry));
+            if (!scan_status.ok()) return false;
+          }
+          return true;
+        });
+    LH_RETURN_NOT_OK(status.WithContext("index build scan"));
+    LH_RETURN_NOT_OK(scan_status.WithContext("index build extract"));
+  }
+  for (uint32_t t = 0; t < num_partitions; ++t) {
+    if (pending_bytes[t] > 0) {
+      LH_RETURN_NOT_OK(cluster->ChargeWrite(index->NodeOfPartition(t),
+                                            index->NodeOfPartition(t),
+                                            pending_bytes[t]));
+    }
+  }
+  index->Seal();
+  catalog_->RegisterOrReplace(index);
+  return index;
+}
+
+Status IndexBuilder::Handle::Join() {
+  if (thread_.joinable()) thread_.join();
+  joined_ = true;
+  return status_;
+}
+
+std::unique_ptr<IndexBuilder::Handle> IndexBuilder::BuildInBackground(
+    IndexSpec spec) {
+  auto handle = std::unique_ptr<Handle>(new Handle());
+  Handle* raw = handle.get();
+  raw->thread_ = std::thread([this, raw, spec = std::move(spec)] {
+    auto result = Build(spec);
+    raw->status_ = result.ok() ? Status::OK() : result.status();
+  });
+  return handle;
+}
+
+}  // namespace lakeharbor::index

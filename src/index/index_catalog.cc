@@ -1,0 +1,56 @@
+#include "index/index_catalog.h"
+
+namespace lakeharbor::index {
+
+Status IndexCatalog::Add(IndexMeta meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_name_.emplace(meta.index_name, std::move(meta));
+  if (!inserted) {
+    return Status::AlreadyExists("index '" + it->first +
+                                 "' already in index catalog");
+  }
+  return Status::OK();
+}
+
+Status IndexCatalog::SetState(const std::string& index_name,
+                              IndexMeta::State state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(index_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("index '" + index_name + "' not in catalog");
+  }
+  it->second.state = state;
+  return Status::OK();
+}
+
+std::optional<IndexMeta> IndexCatalog::FindReady(
+    const std::string& base_file, const std::string& attribute) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, meta] : by_name_) {
+    if (meta.base_file == base_file && meta.attribute == attribute &&
+        meta.state == IndexMeta::State::kReady) {
+      return meta;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<IndexMeta> IndexCatalog::ListForBase(
+    const std::string& base_file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IndexMeta> out;
+  for (const auto& [name, meta] : by_name_) {
+    if (meta.base_file == base_file) out.push_back(meta);
+  }
+  return out;
+}
+
+std::vector<IndexMeta> IndexCatalog::ListAll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IndexMeta> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, meta] : by_name_) out.push_back(meta);
+  return out;
+}
+
+}  // namespace lakeharbor::index

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_builder.h"
+
+namespace lakeharbor::index {
+
+/// Metadata about one structure the lake maintains. The structure itself is
+/// a BtreeFile in the io::Catalog; this record tracks *why* it exists —
+/// which base file and attribute it covers — so query authors (and, per
+/// §V-B, a future adaptive advisor) can discover usable structures.
+struct IndexMeta {
+  std::string index_name;
+  std::string base_file;
+  std::string attribute;  ///< human-readable attribute path, e.g. "o_orderdate"
+  IndexPlacement placement = IndexPlacement::kGlobal;
+  enum class State { kBuilding, kReady, kFailed } state = State::kBuilding;
+};
+
+/// Registry of structures, keyed by (base_file, attribute).
+class IndexCatalog {
+ public:
+  IndexCatalog() = default;
+  LH_DISALLOW_COPY_AND_ASSIGN(IndexCatalog);
+
+  Status Add(IndexMeta meta);
+  Status SetState(const std::string& index_name, IndexMeta::State state);
+
+  /// Find a ready structure covering (base_file, attribute).
+  std::optional<IndexMeta> FindReady(const std::string& base_file,
+                                     const std::string& attribute) const;
+
+  std::vector<IndexMeta> ListForBase(const std::string& base_file) const;
+  std::vector<IndexMeta> ListAll() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, IndexMeta> by_name_;
+};
+
+}  // namespace lakeharbor::index

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "io/pointer.h"
+#include "io/record.h"
+
+namespace lakeharbor::index {
+
+/// Index entries are themselves Records — "the obtained records consist of
+/// logical pointers of the Part file" (§III-B). An entry stores the target
+/// record's partition key and in-partition key, separated by an unprintable
+/// byte that cannot occur in the order-preserving key encodings.
+inline constexpr char kEntrySeparator = '\x1f';
+
+/// Build the index-entry record pointing at (partition_key, key).
+inline io::Record MakeIndexEntry(std::string_view target_partition_key,
+                                 std::string_view target_key) {
+  std::string payload;
+  payload.reserve(target_partition_key.size() + 1 + target_key.size());
+  payload.append(target_partition_key);
+  payload.push_back(kEntrySeparator);
+  payload.append(target_key);
+  return io::Record(std::move(payload));
+}
+
+/// Parse an index-entry record back into a Pointer at the target record.
+inline StatusOr<io::Pointer> ParseIndexEntry(const io::Record& entry) {
+  std::string_view bytes = entry.slice().view();
+  size_t sep = bytes.find(kEntrySeparator);
+  if (sep == std::string_view::npos) {
+    return Status::Corruption("malformed index entry");
+  }
+  io::Pointer ptr;
+  ptr.partition_key = std::string(bytes.substr(0, sep));
+  ptr.key = std::string(bytes.substr(sep + 1));
+  return ptr;
+}
+
+}  // namespace lakeharbor::index

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lakeharbor::io {
+
+/// Per-File access counters. `records_read + records_scanned` is the
+/// "number of record accesses" metric of the paper's Fig 9; it is exact and
+/// independent of timing simulation.
+struct AccessStats {
+  std::atomic<uint64_t> lookups{0};         ///< point Get invocations
+  std::atomic<uint64_t> range_lookups{0};   ///< range Get invocations
+  std::atomic<uint64_t> records_read{0};    ///< records returned by lookups
+  std::atomic<uint64_t> partition_scans{0}; ///< full-partition scans
+  std::atomic<uint64_t> records_scanned{0}; ///< records visited by scans
+  std::atomic<uint64_t> appends{0};         ///< records loaded/written
+  std::atomic<uint64_t> bloom_skips{0};     ///< partition probes avoided
+
+  uint64_t record_accesses() const {
+    return records_read.load() + records_scanned.load();
+  }
+
+  void Reset() {
+    lookups = 0;
+    range_lookups = 0;
+    records_read = 0;
+    partition_scans = 0;
+    records_scanned = 0;
+    appends = 0;
+    bloom_skips = 0;
+  }
+};
+
+}  // namespace lakeharbor::io

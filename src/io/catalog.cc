@@ -1,0 +1,68 @@
+#include "io/catalog.h"
+
+namespace lakeharbor::io {
+
+Status Catalog::Register(std::shared_ptr<File> file) {
+  LH_CHECK(file != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = files_.emplace(file->name(), std::move(file));
+  if (!inserted) {
+    return Status::AlreadyExists("file '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(std::shared_ptr<File> file) {
+  LH_CHECK(file != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[file->name()] = std::move(file);
+}
+
+StatusOr<std::shared_ptr<File>> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no file named '" + name + "' in catalog");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(name) == 0) {
+    return Status::NotFound("no file named '" + name + "' in catalog");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+uint64_t Catalog::TotalRecordAccesses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, file] : files_) {
+    total += file->access_stats().record_accesses();
+  }
+  return total;
+}
+
+void Catalog::ResetAccessStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, file] : files_) {
+    file->mutable_access_stats().Reset();
+  }
+}
+
+}  // namespace lakeharbor::io

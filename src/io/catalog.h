@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "io/file.h"
+
+namespace lakeharbor::io {
+
+/// Name -> File registry of a lake. The catalog is intentionally thin —
+/// LakeHarbor keeps no schemas, only files and the structures derived from
+/// them (which are themselves just more files).
+class Catalog {
+ public:
+  Catalog() = default;
+  LH_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  Status Register(std::shared_ptr<File> file);
+
+  /// Replaces any existing file with the same name (used when a structure
+  /// is rebuilt).
+  void RegisterOrReplace(std::shared_ptr<File> file);
+
+  StatusOr<std::shared_ptr<File>> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> ListNames() const;
+
+  /// Sum of record accesses over every registered file — the Fig 9 metric.
+  uint64_t TotalRecordAccesses() const;
+
+  /// Reset access stats on every registered file.
+  void ResetAccessStats();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<File>> files_;
+};
+
+}  // namespace lakeharbor::io

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/access_stats.h"
+#include "io/partitioner.h"
+#include "io/pointer.h"
+#include "io/record.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::io {
+
+/// Visitor over records; return false to stop early.
+using RecordVisitor = std::function<bool(const Record&)>;
+
+/// A File is a set of Records distributed into partitions (§III-B). It can
+/// locate Records given a Pointer: the partition key is routed through the
+/// pre-configured Partitioner, and the in-partition key finds the records
+/// within the partition. Every access is charged to the simulated cluster
+/// devices and counted in AccessStats.
+///
+/// Partition p is placed on cluster node (p mod num_nodes); partitioning is
+/// therefore also the unit of data placement, as in the paper's "simple
+/// distributed file system".
+class File {
+ public:
+  File(std::string name, std::shared_ptr<Partitioner> partitioner,
+       sim::Cluster* cluster)
+      : name_(std::move(name)),
+        partitioner_(std::move(partitioner)),
+        cluster_(cluster) {
+    LH_CHECK(partitioner_ != nullptr);
+    LH_CHECK(cluster_ != nullptr);
+  }
+  virtual ~File() = default;
+  LH_DISALLOW_COPY_AND_ASSIGN(File);
+
+  const std::string& name() const { return name_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+  uint32_t num_partitions() const { return partitioner_->num_partitions(); }
+  sim::Cluster* cluster() const { return cluster_; }
+
+  sim::NodeId NodeOfPartition(uint32_t partition) const {
+    return static_cast<sim::NodeId>(partition % cluster_->num_nodes());
+  }
+
+  /// Resolve a pointer (must carry partition information) to the records
+  /// with the matching in-partition key. An empty result is not an error.
+  virtual Status Get(sim::NodeId compute_node, const Pointer& ptr,
+                     std::vector<Record>* out) = 0;
+
+  /// Resolve a key within one specific partition — used by the executor to
+  /// serve broadcast pointers locally.
+  virtual Status GetInPartition(sim::NodeId compute_node, uint32_t partition,
+                                const std::string& key,
+                                std::vector<Record>* out) = 0;
+
+  /// Range lookups are only supported by BtreeFile.
+  virtual Status GetRangeInPartition(sim::NodeId compute_node,
+                                     uint32_t partition, const std::string& lo,
+                                     const std::string& hi,
+                                     const RecordVisitor& visit);
+
+  /// Visit every record of a partition in key order (sequential scan).
+  virtual Status ScanPartition(sim::NodeId compute_node, uint32_t partition,
+                               const RecordVisitor& visit) = 0;
+
+  virtual uint64_t num_records() const = 0;
+  virtual uint64_t total_bytes() const = 0;
+
+  const AccessStats& access_stats() const { return access_stats_; }
+  AccessStats& mutable_access_stats() { return access_stats_; }
+
+ protected:
+  std::string name_;
+  std::shared_ptr<Partitioner> partitioner_;
+  sim::Cluster* cluster_;
+  AccessStats access_stats_;
+};
+
+}  // namespace lakeharbor::io

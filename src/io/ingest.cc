@@ -1,0 +1,111 @@
+#include "io/ingest.h"
+
+#include <fstream>
+
+namespace lakeharbor::io {
+
+namespace {
+
+Status AppendOne(PartitionedFile* file, const KeyExtractor& keys,
+                 std::string record_bytes) {
+  LH_ASSIGN_OR_RETURN(IngestKeys extracted, keys(record_bytes));
+  return file->Append(extracted.partition_key, std::move(extracted.key),
+                      Record(std::move(record_bytes)));
+}
+
+}  // namespace
+
+StatusOr<uint64_t> IngestDelimitedFile(const std::string& path,
+                                       PartitionedFile* file,
+                                       const KeyExtractor& keys) {
+  LH_CHECK(file != nullptr);
+  LH_CHECK(keys != nullptr);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for ingest");
+  }
+  uint64_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    LH_RETURN_NOT_OK(AppendOne(file, keys, std::move(line))
+                         .WithContext("ingesting " + path));
+    line.clear();
+    ++count;
+  }
+  if (in.bad()) {
+    return Status::IOError("read error while ingesting '" + path + "'");
+  }
+  return count;
+}
+
+StatusOr<uint64_t> IngestBlockedFile(const std::string& path,
+                                     PartitionedFile* file,
+                                     const KeyExtractor& keys) {
+  LH_CHECK(file != nullptr);
+  LH_CHECK(keys != nullptr);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for ingest");
+  }
+  uint64_t count = 0;
+  std::string line;
+  std::string block;
+  auto flush = [&]() -> Status {
+    if (block.empty()) return Status::OK();
+    LH_RETURN_NOT_OK(AppendOne(file, keys, std::move(block))
+                         .WithContext("ingesting " + path));
+    block.clear();
+    ++count;
+    return Status::OK();
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      LH_RETURN_NOT_OK(flush());
+      continue;
+    }
+    block += line;
+    block.push_back('\n');
+  }
+  LH_RETURN_NOT_OK(flush());
+  if (in.bad()) {
+    return Status::IOError("read error while ingesting '" + path + "'");
+  }
+  return count;
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const std::string& row : rows) {
+    out << row << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteBlocks(const std::string& path,
+                   const std::vector<std::string>& blocks) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const std::string& block : blocks) {
+    out << block;
+    if (block.empty() || block.back() != '\n') out << '\n';
+    out << '\n';  // blank separator
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::io

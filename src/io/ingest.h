@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "io/partitioned_file.h"
+
+/// \file ingest.h
+/// The lake's file boundary. "Data lake systems typically hold raw
+/// datasets" (§I) — these helpers move raw text files between the local
+/// filesystem and PartitionedFiles without interpreting anything beyond
+/// record framing:
+///   - delimited files: one record per line (TPC-H tables, warehouse rows);
+///   - blocked files: multi-line records separated by blank lines (the
+///     insurance-claims format, whose records contain newlines).
+/// Keys are extracted by a caller-supplied function — the first and only
+/// schema-on-read step that happens at ingest, because partition placement
+/// needs a partition key.
+
+namespace lakeharbor::io {
+
+/// Extracts (partition_key, in_partition_key) from one raw record.
+struct IngestKeys {
+  std::string partition_key;
+  std::string key;
+};
+using KeyExtractor = std::function<StatusOr<IngestKeys>(const std::string&)>;
+
+/// Append every line of `path` to `file`. Returns the record count.
+/// Empty lines are skipped. The file is not sealed.
+StatusOr<uint64_t> IngestDelimitedFile(const std::string& path,
+                                       PartitionedFile* file,
+                                       const KeyExtractor& keys);
+
+/// Append every blank-line-separated block of `path` to `file` as one
+/// record (trailing newline preserved per line, as the claims format
+/// expects). Returns the record count. The file is not sealed.
+StatusOr<uint64_t> IngestBlockedFile(const std::string& path,
+                                     PartitionedFile* file,
+                                     const KeyExtractor& keys);
+
+/// Write rows to `path`, one per line (creates/truncates).
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& rows);
+
+/// Write multi-line records to `path` separated by blank lines.
+Status WriteBlocks(const std::string& path,
+                   const std::vector<std::string>& blocks);
+
+}  // namespace lakeharbor::io

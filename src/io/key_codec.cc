@@ -1,0 +1,85 @@
+#include "io/key_codec.h"
+
+#include <cstring>
+
+namespace lakeharbor::io {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex16(uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHexDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+StatusOr<uint64_t> FromHex16(std::string_view s) {
+  if (s.size() != 16) {
+    return Status::InvalidArgument("encoded key must be 16 hex chars, got " +
+                                   std::string(s));
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("bad hex char in key");
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeInt64Key(int64_t value) {
+  // Bias by 2^63 so that signed order becomes unsigned order.
+  uint64_t biased = static_cast<uint64_t>(value) ^ (1ULL << 63);
+  return ToHex16(biased);
+}
+
+StatusOr<int64_t> DecodeInt64Key(std::string_view key) {
+  LH_ASSIGN_OR_RETURN(uint64_t biased, FromHex16(key));
+  return static_cast<int64_t>(biased ^ (1ULL << 63));
+}
+
+std::string EncodeDoubleKey(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Standard trick: flip all bits of negatives, flip only the sign bit of
+  // non-negatives, giving a total order under unsigned comparison.
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ULL << 63);
+  }
+  return ToHex16(bits);
+}
+
+StatusOr<double> DecodeDoubleKey(std::string_view key) {
+  LH_ASSIGN_OR_RETURN(uint64_t bits, FromHex16(key));
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string ComposeKey(std::string_view first, std::string_view second) {
+  std::string out;
+  out.reserve(first.size() + second.size());
+  out.append(first);
+  out.append(second);
+  return out;
+}
+
+}  // namespace lakeharbor::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+
+/// \file key_codec.h
+/// Order-preserving byte encodings for index keys. B-trees and range
+/// partitioners compare keys as raw byte strings, so every typed key is
+/// encoded such that memcmp order equals value order:
+///   int64  -> sign-biased big-endian hex (16 chars)
+///   double -> IEEE-754 bit trick, big-endian hex (16 chars)
+///   string -> identity (dates like "1995-03-15" are already ordered)
+
+namespace lakeharbor::io {
+
+/// Encode a signed 64-bit integer.
+std::string EncodeInt64Key(int64_t value);
+
+/// Decode a key produced by EncodeInt64Key.
+StatusOr<int64_t> DecodeInt64Key(std::string_view key);
+
+/// Encode a double (total order: -inf < ... < -0 == +0 < ... < +inf; NaN is
+/// rejected by callers before encoding — behaviour on NaN is unspecified).
+std::string EncodeDoubleKey(double value);
+
+/// Decode a key produced by EncodeDoubleKey.
+StatusOr<double> DecodeDoubleKey(std::string_view key);
+
+/// Compose a two-part key (e.g., (l_orderkey, l_linenumber)) such that
+/// composite order equals lexicographic order of the parts. Parts must be
+/// fixed width or self-terminating; the shipped encoders are fixed width.
+std::string ComposeKey(std::string_view first, std::string_view second);
+
+}  // namespace lakeharbor::io

@@ -1,0 +1,174 @@
+#include "io/partitioned_file.h"
+
+#include <algorithm>
+
+namespace lakeharbor::io {
+
+namespace {
+/// Minimum bytes charged for a device probe, even when the lookup misses:
+/// reading *nothing* still costs a page-sized I/O.
+constexpr size_t kMinProbeBytes = 64;
+}  // namespace
+
+PartitionedFile::PartitionedFile(std::string name,
+                                 std::shared_ptr<Partitioner> partitioner,
+                                 sim::Cluster* cluster, size_t btree_fanout)
+    : File(std::move(name), std::move(partitioner), cluster) {
+  partitions_.resize(num_partitions());
+  for (auto& p : partitions_) {
+    p.tree = std::make_unique<index::Btree<Record>>(btree_fanout);
+  }
+}
+
+Status PartitionedFile::Append(const std::string& partition_key,
+                               std::string key, Record record) {
+  uint32_t partition = partitioner_->PartitionOf(partition_key);
+  return AppendToPartition(partition, std::move(key), std::move(record));
+}
+
+Status PartitionedFile::AppendToPartition(uint32_t partition, std::string key,
+                                          Record record) {
+  if (sealed_) {
+    return Status::Aborted("append to sealed file '" + name_ + "'");
+  }
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  Partition& p = partitions_[partition];
+  p.bytes += record.size();
+  total_bytes_ += record.size();
+  ++num_records_;
+  access_stats_.appends.fetch_add(1, std::memory_order_relaxed);
+  p.tree->Insert(std::move(key), std::move(record));
+  return Status::OK();
+}
+
+Status PartitionedFile::CheckSealed() const {
+  if (!sealed_) {
+    return Status::Aborted("file '" + name_ + "' queried before Seal()");
+  }
+  return Status::OK();
+}
+
+Status PartitionedFile::ChargeLookup(sim::NodeId compute_node,
+                                     uint32_t partition, size_t result_bytes,
+                                     size_t result_records) {
+  sim::NodeId storage_node = NodeOfPartition(partition);
+  LH_RETURN_NOT_OK(cluster_->ChargeRandomRead(
+      compute_node, storage_node, std::max(result_bytes, kMinProbeBytes)));
+  access_stats_.records_read.fetch_add(result_records,
+                                       std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PartitionedFile::Get(sim::NodeId compute_node, const Pointer& ptr,
+                            std::vector<Record>* out) {
+  LH_RETURN_NOT_OK(CheckSealed());
+  if (!ptr.has_partition) {
+    return Status::InvalidArgument(
+        "Get on file '" + name_ +
+        "' requires partition information (broadcast pointers are resolved "
+        "by the executor)");
+  }
+  uint32_t partition = partitioner_->PartitionOf(ptr.partition_key);
+  return GetInPartition(compute_node, partition, ptr.key, out);
+}
+
+Status PartitionedFile::GetInPartition(sim::NodeId compute_node,
+                                       uint32_t partition,
+                                       const std::string& key,
+                                       std::vector<Record>* out) {
+  LH_RETURN_NOT_OK(CheckSealed());
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  access_stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  size_t before = out->size();
+  partitions_[partition].tree->Get(key, out);
+  size_t found = out->size() - before;
+  size_t bytes = 0;
+  for (size_t i = before; i < out->size(); ++i) bytes += (*out)[i].size();
+  return ChargeLookup(compute_node, partition, bytes, found);
+}
+
+Status PartitionedFile::ScanPartition(sim::NodeId compute_node,
+                                      uint32_t partition,
+                                      const RecordVisitor& visit) {
+  return ScanPartitionKeyed(
+      compute_node, partition,
+      [&](const std::string&, const Record& record) { return visit(record); });
+}
+
+Status PartitionedFile::ScanPartitionKeyed(sim::NodeId compute_node,
+                                           uint32_t partition,
+                                           const KeyedRecordVisitor& visit) {
+  LH_RETURN_NOT_OK(CheckSealed());
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  const Partition& p = partitions_[partition];
+  sim::NodeId storage_node = NodeOfPartition(partition);
+  LH_RETURN_NOT_OK(cluster_->ChargeSequentialRead(
+      compute_node, storage_node, std::max<uint64_t>(p.bytes, kMinProbeBytes)));
+  access_stats_.partition_scans.fetch_add(1, std::memory_order_relaxed);
+  uint64_t visited = 0;
+  p.tree->Scan([&](const std::string& key, const Record& record) {
+    ++visited;
+    return visit(key, record);
+  });
+  access_stats_.records_scanned.fetch_add(visited, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status File::GetRangeInPartition(sim::NodeId, uint32_t, const std::string&,
+                                 const std::string&, const RecordVisitor&) {
+  return Status::NotImplemented("file '" + name_ +
+                                "' does not support range lookups; use a "
+                                "BtreeFile");
+}
+
+Status BtreeFile::GetRangeInPartition(sim::NodeId compute_node,
+                                      uint32_t partition, const std::string& lo,
+                                      const std::string& hi,
+                                      const RecordVisitor& visit) {
+  LH_RETURN_NOT_OK(CheckSealed());
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  access_stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
+  sim::NodeId storage_node = NodeOfPartition(partition);
+  // One random read for the index descent...
+  LH_RETURN_NOT_OK(
+      cluster_->ChargeRandomRead(compute_node, storage_node, kMinProbeBytes));
+  uint64_t visited = 0;
+  uint64_t bytes = 0;
+  partitions_[partition].tree->GetRange(
+      lo, hi, [&](const std::string&, const Record& record) {
+        ++visited;
+        bytes += record.size();
+        return visit(record);
+      });
+  access_stats_.records_read.fetch_add(visited, std::memory_order_relaxed);
+  // ...plus a sequential stream over the matching leaf chain.
+  if (bytes > 0) {
+    LH_RETURN_NOT_OK(
+        cluster_->ChargeSequentialRead(compute_node, storage_node, bytes));
+  }
+  return Status::OK();
+}
+
+Status BtreeFile::GetRangeAllPartitions(sim::NodeId compute_node,
+                                        const std::string& lo,
+                                        const std::string& hi,
+                                        const RecordVisitor& visit) {
+  for (uint32_t p = 0; p < num_partitions(); ++p) {
+    LH_RETURN_NOT_OK(GetRangeInPartition(compute_node, p, lo, hi, visit));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::io

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/btree.h"
+#include "io/file.h"
+
+namespace lakeharbor::io {
+
+/// The concrete distributed file of the prototype's "simple distributed
+/// file system": records are hash- or range-partitioned, and each partition
+/// stores its records in primary-key order in a B-tree, so point lookups by
+/// in-partition key cost one simulated random read.
+///
+/// Loading protocol: Append() records, then Seal(); queries on an unsealed
+/// file are rejected. This mirrors the lake's immutable-raw-data model —
+/// structure maintenance creates *new* files rather than mutating loaded
+/// ones.
+class PartitionedFile : public File {
+ public:
+  PartitionedFile(std::string name, std::shared_ptr<Partitioner> partitioner,
+                  sim::Cluster* cluster, size_t btree_fanout = 64);
+
+  /// Add a record during loading. The partition key is routed through the
+  /// partitioner; `key` is the in-partition (primary) key.
+  Status Append(const std::string& partition_key, std::string key,
+                Record record);
+
+  /// Add a record to an explicit partition, bypassing the partitioner.
+  /// Used for *local* secondary indexes, whose partitions mirror the base
+  /// file's partitions 1:1 rather than being derived from the index key.
+  Status AppendToPartition(uint32_t partition, std::string key, Record record);
+
+  /// Finish loading. Idempotent.
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+
+  Status Get(sim::NodeId compute_node, const Pointer& ptr,
+             std::vector<Record>* out) override;
+  Status GetInPartition(sim::NodeId compute_node, uint32_t partition,
+                        const std::string& key,
+                        std::vector<Record>* out) override;
+  Status ScanPartition(sim::NodeId compute_node, uint32_t partition,
+                       const RecordVisitor& visit) override;
+
+  /// Scan one partition exposing the in-partition keys alongside the
+  /// records (statistics builders need the key domain). Charged like
+  /// ScanPartition.
+  using KeyedRecordVisitor =
+      std::function<bool(const std::string& key, const Record& record)>;
+  Status ScanPartitionKeyed(sim::NodeId compute_node, uint32_t partition,
+                            const KeyedRecordVisitor& visit);
+
+  uint64_t num_records() const override { return num_records_; }
+  uint64_t total_bytes() const override { return total_bytes_; }
+  uint64_t partition_bytes(uint32_t partition) const {
+    return partitions_[partition].bytes;
+  }
+  uint64_t partition_records(uint32_t partition) const {
+    return partitions_[partition].tree->size();
+  }
+
+ protected:
+  struct Partition {
+    std::unique_ptr<index::Btree<Record>> tree;
+    uint64_t bytes = 0;
+  };
+
+  Status CheckSealed() const;
+  Status ChargeLookup(sim::NodeId compute_node, uint32_t partition,
+                      size_t result_bytes, size_t result_records);
+
+  std::vector<Partition> partitions_;
+  uint64_t num_records_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool sealed_ = false;
+};
+
+/// A BtreeFile additionally locates the set of records between two pointers
+/// (§III-B). Secondary and global indexes — and base files queried by key
+/// prefix ranges — are BtreeFiles.
+class BtreeFile final : public PartitionedFile {
+ public:
+  using PartitionedFile::PartitionedFile;
+
+  /// Range lookup within one partition: visit records with lo <= key <= hi.
+  /// Charged as one index descent (random read) plus a sequential leaf
+  /// stream proportional to the result size.
+  Status GetRangeInPartition(sim::NodeId compute_node, uint32_t partition,
+                             const std::string& lo, const std::string& hi,
+                             const RecordVisitor& visit) override;
+
+  /// Range lookup across every partition, in partition order. Used when the
+  /// indexed key is not the partitioning key (local secondary indexes).
+  Status GetRangeAllPartitions(sim::NodeId compute_node, const std::string& lo,
+                               const std::string& hi,
+                               const RecordVisitor& visit);
+};
+
+}  // namespace lakeharbor::io

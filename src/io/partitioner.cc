@@ -1,0 +1,51 @@
+#include "io/partitioner.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace lakeharbor::io {
+
+HashPartitioner::HashPartitioner(uint32_t num_partitions)
+    : num_partitions_(num_partitions) {
+  LH_CHECK_MSG(num_partitions > 0, "need at least one partition");
+}
+
+uint32_t HashPartitioner::PartitionOf(Slice partition_key) const {
+  return static_cast<uint32_t>(Fnv1a64(partition_key) % num_partitions_);
+}
+
+RangePartitioner::RangePartitioner(std::vector<std::string> upper_boundaries)
+    : boundaries_(std::move(upper_boundaries)) {
+  LH_CHECK_MSG(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+               "range boundaries must be sorted");
+  LH_CHECK_MSG(std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+                   boundaries_.end(),
+               "range boundaries must be distinct");
+}
+
+uint32_t RangePartitioner::PartitionOf(Slice partition_key) const {
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                             partition_key.ToString());
+  return static_cast<uint32_t>(it - boundaries_.begin());
+}
+
+std::shared_ptr<RangePartitioner> BuildRangePartitionerFromSample(
+    std::vector<std::string> sample_keys, uint32_t num_partitions) {
+  LH_CHECK_MSG(num_partitions > 0, "need at least one partition");
+  std::sort(sample_keys.begin(), sample_keys.end());
+  std::vector<std::string> boundaries;
+  if (!sample_keys.empty()) {
+    boundaries.reserve(num_partitions - 1);
+    for (uint32_t i = 1; i < num_partitions; ++i) {
+      size_t idx = sample_keys.size() * i / num_partitions;
+      const std::string& candidate = sample_keys[idx];
+      if (boundaries.empty() || boundaries.back() < candidate) {
+        boundaries.push_back(candidate);
+      }
+    }
+  }
+  return std::make_shared<RangePartitioner>(std::move(boundaries));
+}
+
+}  // namespace lakeharbor::io

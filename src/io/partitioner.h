@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/slice.h"
+
+namespace lakeharbor::io {
+
+/// Maps a partition key to a partition id (§III-B: "a File takes a
+/// partition key from a given Pointer, applies it to a pre-configured
+/// Partitioner ... to locate a partition").
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual uint32_t num_partitions() const = 0;
+  virtual uint32_t PartitionOf(Slice partition_key) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic hash partitioning (FNV-1a over the key bytes).
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(uint32_t num_partitions);
+  uint32_t num_partitions() const override { return num_partitions_; }
+  uint32_t PartitionOf(Slice partition_key) const override;
+  std::string name() const override { return "hash"; }
+
+ private:
+  uint32_t num_partitions_;
+};
+
+/// Range partitioning over sorted upper boundaries: partition i holds keys
+/// < boundaries[i]; the last partition holds the rest. Boundaries must be
+/// strictly increasing; num_partitions == boundaries.size() + 1.
+class RangePartitioner final : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> upper_boundaries);
+  uint32_t num_partitions() const override {
+    return static_cast<uint32_t>(boundaries_.size()) + 1;
+  }
+  uint32_t PartitionOf(Slice partition_key) const override;
+  std::string name() const override { return "range"; }
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<std::string> boundaries_;
+};
+
+/// Build a RangePartitioner whose boundaries are the (num_partitions - 1)
+/// quantiles of `sample_keys` — the usual way a range-partitioned structure
+/// is laid out from a data sample. Duplicate quantiles are skipped, so the
+/// result may have fewer partitions than requested on skewed samples.
+std::shared_ptr<RangePartitioner> BuildRangePartitionerFromSample(
+    std::vector<std::string> sample_keys, uint32_t num_partitions);
+
+}  // namespace lakeharbor::io

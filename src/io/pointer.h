@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace lakeharbor::io {
+
+/// A Pointer locates Records (§III-B). It carries
+///   - a partition key, routed through the target File's Partitioner to find
+///     the partition/node holding the record, and
+///   - an in-partition key (logical: primary key / index key; the prototype
+///     uses logical keys throughout, as the paper's examples do).
+///
+/// A pointer *without* partition information (has_partition == false) is the
+/// paper's broadcast mechanism: the executor replicates it to every
+/// partition, where it is resolved locally (Algorithm 1, lines 28-33).
+struct Pointer {
+  std::string partition_key;
+  std::string key;
+  bool has_partition = true;
+
+  Pointer() = default;
+  Pointer(std::string partition_key_in, std::string key_in)
+      : partition_key(std::move(partition_key_in)), key(std::move(key_in)) {}
+
+  /// Pointer routed by partition key; most files are partitioned by the
+  /// same key they are looked up with, so this is the common constructor.
+  static Pointer Keyed(std::string key) {
+    Pointer p;
+    p.partition_key = key;
+    p.key = std::move(key);
+    return p;
+  }
+
+  /// Broadcast pointer ("null partition information" in the paper): the
+  /// executor replicates it to all partitions for local resolution.
+  static Pointer Broadcast(std::string key) {
+    Pointer p;
+    p.key = std::move(key);
+    p.has_partition = false;
+    return p;
+  }
+
+  bool operator==(const Pointer& other) const {
+    return partition_key == other.partition_key && key == other.key &&
+           has_partition == other.has_partition;
+  }
+};
+
+}  // namespace lakeharbor::io

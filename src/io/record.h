@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/slice.h"
+
+namespace lakeharbor::io {
+
+/// A Record is the unit of data ReDe reads and writes (§III-B): an opaque,
+/// immutable byte buffer. Schemas are *not* part of a record — schema-on-
+/// read Interpreters parse fields on access, which is what lets LakeHarbor
+/// handle dynamically-typed formats (e.g., the insurance-claims sub-record
+/// format) that columnar file formats cannot express.
+///
+/// Records are shared, cheaply copyable handles; the bytes are immutable
+/// once constructed, so sharing across executor threads is safe.
+class Record {
+ public:
+  Record() : data_(EmptyPayload()) {}
+  explicit Record(std::string bytes)
+      : data_(std::make_shared<const std::string>(std::move(bytes))) {}
+
+  Slice slice() const { return Slice(*data_); }
+  const std::string& bytes() const { return *data_; }
+  size_t size() const { return data_->size(); }
+  bool empty() const { return data_->empty(); }
+
+  bool operator==(const Record& other) const {
+    return *data_ == *other.data_;
+  }
+
+ private:
+  static std::shared_ptr<const std::string> EmptyPayload() {
+    static const std::shared_ptr<const std::string> kEmpty =
+        std::make_shared<const std::string>();
+    return kEmpty;
+  }
+
+  std::shared_ptr<const std::string> data_;
+};
+
+}  // namespace lakeharbor::io

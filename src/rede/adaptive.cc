@@ -1,0 +1,126 @@
+#include "rede/adaptive.h"
+
+#include <algorithm>
+
+namespace lakeharbor::rede {
+
+const char* ActionToString(StructureRecommendation::Action action) {
+  switch (action) {
+    case StructureRecommendation::Action::kBuild:
+      return "build";
+    case StructureRecommendation::Action::kKeep:
+      return "keep";
+    case StructureRecommendation::Action::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+void AdaptiveStructureManager::DeclareCandidate(const std::string& base_file,
+                                                const std::string& attribute,
+                                                StructureCostInputs inputs,
+                                                bool currently_built) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Candidate& candidate = candidates_[KeyOf(base_file, attribute)];
+  candidate.inputs = inputs;
+  candidate.built = currently_built;
+}
+
+void AdaptiveStructureManager::Observe(const AccessObservation& observation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = candidates_.find(
+      KeyOf(observation.base_file, observation.attribute));
+  if (it == candidates_.end()) return;  // nobody declared this attribute
+  it->second.window.push_back(observation);
+  while (it->second.window.size() > options_.window) {
+    it->second.window.pop_front();
+  }
+}
+
+Status AdaptiveStructureManager::SetBuilt(const std::string& base_file,
+                                          const std::string& attribute,
+                                          bool built) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = candidates_.find(KeyOf(base_file, attribute));
+  if (it == candidates_.end()) {
+    return Status::NotFound("no declared candidate for " + base_file + "/" +
+                            attribute);
+  }
+  it->second.built = built;
+  return Status::OK();
+}
+
+double AdaptiveStructureManager::StructureQueryMs(
+    const AccessObservation& observation) const {
+  const sim::ClusterOptions& options = cluster_->options();
+  const double concurrent_ios =
+      static_cast<double>(cluster_->num_nodes()) *
+      static_cast<double>(options.disk.io_slots == 0 ? 1
+                                                     : options.disk.io_slots);
+  const double io_ms =
+      (static_cast<double>(options.disk.random_read_latency_us) +
+       options_.per_io_overhead_us) /
+      1000.0;
+  return observation.matches * observation.ios_per_match * io_ms /
+         concurrent_ios;
+}
+
+double AdaptiveStructureManager::ScanQueryMs(
+    const AccessObservation& observation) const {
+  const sim::ClusterOptions& options = cluster_->options();
+  const double bandwidth_per_ms =
+      static_cast<double>(options.disk.scan_bandwidth_bytes_per_sec) / 1000.0;
+  return static_cast<double>(observation.scan_bytes) /
+         (bandwidth_per_ms * cluster_->num_nodes());
+}
+
+double AdaptiveStructureManager::BuildCostMs(
+    const StructureCostInputs& inputs) const {
+  const sim::ClusterOptions& options = cluster_->options();
+  const double bandwidth_per_ms =
+      static_cast<double>(options.disk.scan_bandwidth_bytes_per_sec) / 1000.0;
+  // One scan of the base data plus streaming the postings out (writes are
+  // page-batched, so bandwidth-bound rather than IOPS-bound).
+  const double scan_ms = static_cast<double>(inputs.base_bytes) /
+                         (bandwidth_per_ms * cluster_->num_nodes());
+  const double write_ms =
+      static_cast<double>(inputs.base_records) * inputs.posting_bytes /
+      (bandwidth_per_ms * cluster_->num_nodes());
+  return scan_ms + write_ms;
+}
+
+std::vector<StructureRecommendation> AdaptiveStructureManager::Recommend()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StructureRecommendation> out;
+  out.reserve(candidates_.size());
+  for (const auto& [key, candidate] : candidates_) {
+    size_t sep = key.find('\x1f');
+    StructureRecommendation rec;
+    rec.base_file = key.substr(0, sep);
+    rec.attribute = key.substr(sep + 1);
+    rec.build_cost_ms = BuildCostMs(candidate.inputs);
+    rec.observations = candidate.window.size();
+    for (const AccessObservation& obs : candidate.window) {
+      // A structure only helps queries it would win; an optimizer falls
+      // back to scans otherwise (see StructureAdvisor).
+      double saving = ScanQueryMs(obs) - StructureQueryMs(obs);
+      if (saving > 0) rec.window_saving_ms += saving;
+    }
+    if (candidate.built) {
+      rec.action = rec.window_saving_ms <
+                           rec.build_cost_ms * options_.drop_fraction
+                       ? StructureRecommendation::Action::kDrop
+                       : StructureRecommendation::Action::kKeep;
+    } else {
+      rec.action = rec.window_saving_ms >
+                           rec.build_cost_ms * options_.payoff_factor
+                       ? StructureRecommendation::Action::kBuild
+                       : StructureRecommendation::Action::kKeep;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+
+/// One observed selective access over an attribute of a base file —
+/// recorded whether or not a structure existed to serve it. Carries enough
+/// for the cost model to price both plans after the fact.
+struct AccessObservation {
+  std::string base_file;
+  std::string attribute;
+  /// Matches the predicate selected (driving-structure cardinality).
+  double matches = 0;
+  /// Average chained random reads per match for the job shape.
+  double ios_per_match = 10.0;
+  /// Bytes a scan-based fallback plan reads for this query.
+  uint64_t scan_bytes = 0;
+};
+
+/// Everything the manager needs to price building a structure over
+/// (base_file, attribute).
+struct StructureCostInputs {
+  uint64_t base_bytes = 0;    ///< scanned once during the build
+  uint64_t base_records = 0;  ///< one posting per record (approximation)
+  size_t posting_bytes = 40;  ///< entry + key bytes written per posting
+};
+
+/// What the manager recommends for one (base_file, attribute) pair.
+struct StructureRecommendation {
+  enum class Action { kBuild, kKeep, kDrop };
+  std::string base_file;
+  std::string attribute;
+  Action action = Action::kKeep;
+  /// Modeled total saving of the structure plan over the scan plan across
+  /// the observation window (negative: the structure loses).
+  double window_saving_ms = 0;
+  /// Modeled cost of building the structure.
+  double build_cost_ms = 0;
+  size_t observations = 0;
+};
+
+const char* ActionToString(StructureRecommendation::Action action);
+
+struct AdaptiveOptions {
+  /// Sliding window: only the most recent N observations per attribute
+  /// count, so recommendations follow workload shifts (§V-B: "workloads
+  /// are not static in recent analytics").
+  size_t window = 64;
+  /// Build only when the window's saving exceeds build cost by this factor.
+  double payoff_factor = 1.0;
+  /// Drop an existing structure when its window saving falls below this
+  /// fraction of its build cost (hysteresis against thrashing).
+  double drop_fraction = 0.1;
+  /// Engine overhead per chained I/O (see StructureAdvisor).
+  double per_io_overhead_us = 0.0;
+};
+
+/// The §V-B decision loop: observe the workload, price each candidate
+/// structure against it with the device cost model, and recommend
+/// build/keep/drop per (base_file, attribute). The caller (or a background
+/// daemon) applies recommendations via Engine::BuildStructure /
+/// Catalog::Drop — the manager itself only decides, keeping the policy
+/// testable in isolation.
+class AdaptiveStructureManager {
+ public:
+  AdaptiveStructureManager(sim::Cluster* cluster, AdaptiveOptions options = {})
+      : cluster_(cluster), options_(options) {
+    LH_CHECK(cluster_ != nullptr);
+  }
+
+  /// Declare a candidate structure and its build-cost inputs. Observations
+  /// against undeclared attributes are ignored by Recommend().
+  void DeclareCandidate(const std::string& base_file,
+                        const std::string& attribute,
+                        StructureCostInputs inputs, bool currently_built);
+
+  /// Record one query's access pattern.
+  void Observe(const AccessObservation& observation);
+
+  /// Tell the manager a structure was built/dropped (keeps state in sync).
+  Status SetBuilt(const std::string& base_file, const std::string& attribute,
+                  bool built);
+
+  /// Price every declared candidate against its observation window.
+  std::vector<StructureRecommendation> Recommend() const;
+
+ private:
+  struct Candidate {
+    StructureCostInputs inputs;
+    bool built = false;
+    std::deque<AccessObservation> window;
+  };
+
+  double StructureQueryMs(const AccessObservation& observation) const;
+  double ScanQueryMs(const AccessObservation& observation) const;
+  double BuildCostMs(const StructureCostInputs& inputs) const;
+
+  static std::string KeyOf(const std::string& base_file,
+                           const std::string& attribute) {
+    return base_file + "\x1f" + attribute;
+  }
+
+  sim::Cluster* cluster_;
+  AdaptiveOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Candidate> candidates_;
+};
+
+}  // namespace lakeharbor::rede

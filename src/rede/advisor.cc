@@ -1,0 +1,68 @@
+#include "rede/advisor.h"
+
+namespace lakeharbor::rede {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kStructure:
+      return "structure";
+    case PlanKind::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+StatusOr<PlanEstimate> StructureAdvisor::Choose(const PlanQuery& query) const {
+  if (query.driving_index == nullptr) {
+    return Status::InvalidArgument("advisor needs a driving index");
+  }
+  if (query.range_hi < query.range_lo) {
+    return Status::InvalidArgument("advisor range is inverted");
+  }
+
+  PlanEstimate estimate;
+  if (query.histogram != nullptr) {
+    // Pre-built statistics: no query-time probe.
+    estimate.estimated_matches =
+        query.histogram->EstimateMatches(query.range_lo, query.range_hi);
+  } else {
+    // Sample: count matches in one partition (a real probe — it is charged
+    // to the devices like any other index descent) and extrapolate.
+    io::BtreeFile& index = *query.driving_index;
+    uint64_t sampled = 0;
+    uint32_t sample_partition = 0;
+    LH_RETURN_NOT_OK(index.GetRangeInPartition(
+        index.NodeOfPartition(sample_partition), sample_partition,
+        query.range_lo, query.range_hi, [&](const io::Record&) {
+          ++sampled;
+          return true;
+        }));
+    estimate.estimated_matches =
+        static_cast<double>(sampled) * index.num_partitions();
+  }
+
+  const sim::ClusterOptions& options = cluster_->options();
+  const double concurrent_ios =
+      static_cast<double>(cluster_->num_nodes()) *
+      static_cast<double>(options.disk.io_slots == 0 ? 1
+                                                     : options.disk.io_slots);
+  const double io_ms =
+      (static_cast<double>(options.disk.random_read_latency_us) +
+       query.per_io_overhead_us) /
+      1000.0;
+  estimate.structure_ms =
+      estimate.estimated_matches * query.ios_per_match * io_ms /
+      concurrent_ios;
+
+  const double bandwidth_per_ms =
+      static_cast<double>(options.disk.scan_bandwidth_bytes_per_sec) / 1000.0;
+  estimate.scan_ms = static_cast<double>(query.scan_bytes) /
+                     (bandwidth_per_ms * cluster_->num_nodes());
+
+  estimate.choice = estimate.structure_ms <= estimate.scan_ms
+                        ? PlanKind::kStructure
+                        : PlanKind::kScan;
+  return estimate;
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status_or.h"
+#include "io/partitioned_file.h"
+#include "rede/statistics.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+
+/// What the advisor recommends for a selective job.
+enum class PlanKind {
+  kStructure,  ///< index-driven Reference-Dereference job (ReDe w/ SMPE)
+  kScan,       ///< full-scan plan (hash joins) — the high-selectivity regime
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+/// Inputs describing the candidate index-driven plan.
+struct PlanQuery {
+  /// The driving structure (the index whose range the job starts from).
+  std::shared_ptr<io::BtreeFile> driving_index;
+  /// Inclusive key range on the driving structure.
+  std::string range_lo, range_hi;
+  /// Average random reads the pointer-chasing chain performs per driving
+  /// match (stage count times fan-out; job authors know their chains).
+  double ios_per_match = 10.0;
+  /// Non-device cost per chained I/O (queue hops, network latency,
+  /// referencer CPU), added to the device service time. Calibrate once by
+  /// timing a sample job; 0 models a perfectly overlapped engine.
+  double per_io_overhead_us = 0.0;
+  /// Bytes a scan-based plan must read (sum of the scanned files).
+  uint64_t scan_bytes = 0;
+  /// Optional pre-built statistics over the driving structure. When set,
+  /// match estimation reads the histogram (no query-time probe at all);
+  /// otherwise one partition of the structure is probed and extrapolated.
+  const EquiDepthHistogram* histogram = nullptr;
+};
+
+struct PlanEstimate {
+  PlanKind choice = PlanKind::kStructure;
+  double estimated_matches = 0;  ///< extrapolated driving-index matches
+  double structure_ms = 0;       ///< modeled index-plan time
+  double scan_ms = 0;            ///< modeled scan-plan time
+};
+
+/// A minimal cost-based plan chooser — the facility the paper's evaluation
+/// note asks for: "If ReDe implements [a query optimizer], ReDe could
+/// choose data processing plans appropriately based on query selectivities;
+/// i.e., ReDe would perform comparably with Impala in the high selectivity
+/// range" (§III-E). It also serves §V-B's structure-maintenance question by
+/// exposing when a structure stops paying for itself.
+///
+/// Selectivity is estimated by probing ONE partition of the driving index
+/// (paying one real index probe) and extrapolating by the partition count;
+/// plan costs come from the cluster's device model:
+///   structure_ms ~ matches * ios_per_match * latency / (nodes * io_slots)
+///   scan_ms      ~ scan_bytes / (nodes * scan_bandwidth)
+class StructureAdvisor {
+ public:
+  explicit StructureAdvisor(sim::Cluster* cluster) : cluster_(cluster) {
+    LH_CHECK(cluster_ != nullptr);
+  }
+
+  StatusOr<PlanEstimate> Choose(const PlanQuery& query) const;
+
+ private:
+  sim::Cluster* cluster_;
+};
+
+}  // namespace lakeharbor::rede

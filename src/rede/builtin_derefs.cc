@@ -1,0 +1,200 @@
+#include "rede/builtin_derefs.h"
+
+#include <utility>
+#include <vector>
+
+namespace lakeharbor::rede {
+
+namespace {
+
+/// Append `record` to a copy of `input`'s bundle, run the filter, and emit.
+Status EmitFetched(const Tuple& input, const io::Record& record,
+                   const Filter& filter, std::vector<Tuple>* out) {
+  Tuple next;
+  next.records.reserve(input.records.size() + 1);
+  next.records = input.records;
+  next.records.push_back(record);
+  if (filter) {
+    LH_ASSIGN_OR_RETURN(bool keep, filter(next));
+    if (!keep) return Status::OK();
+  }
+  out->push_back(std::move(next));
+  return Status::OK();
+}
+
+class PointDereferencer final : public Dereferencer {
+ public:
+  PointDereferencer(std::string name, std::shared_ptr<io::File> file,
+                    Filter filter,
+                    std::shared_ptr<const index::PartitionBloom> bloom)
+      : Dereferencer(std::move(name)),
+        file_(std::move(file)),
+        filter_(std::move(filter)),
+        bloom_(std::move(bloom)) {
+    LH_CHECK(file_ != nullptr);
+  }
+
+  Status Execute(const ExecContext& ctx, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    if (input.is_range) {
+      return Status::InvalidArgument(
+          "point dereferencer '" + name() +
+          "' received a range pointer; use a range dereferencer");
+    }
+    std::vector<io::Record> fetched;
+    if (input.pointer.has_partition) {
+      LH_RETURN_NOT_OK(file_->Get(ctx.node, input.pointer, &fetched));
+    } else {
+      // Broadcast pointer. Under SMPE the executor replicated this tuple to
+      // every node and marked it resolve_local, so we consult only the
+      // partitions local to this node (Algorithm 1: SETPARTITION(input,
+      // LOCAL)). Without the mark (partitioned executor: no cross-node task
+      // shipping) the single owner consults every partition, paying remote
+      // reads instead of broadcast messages.
+      for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
+        if (input.resolve_local && file_->NodeOfPartition(p) != ctx.node) {
+          continue;
+        }
+        if (bloom_ != nullptr &&
+            !bloom_->MightContain(p, input.pointer.key)) {
+          // Membership structure rules this partition out: no probe.
+          file_->mutable_access_stats().bloom_skips.fetch_add(
+              1, std::memory_order_relaxed);
+          continue;
+        }
+        LH_RETURN_NOT_OK(
+            file_->GetInPartition(ctx.node, p, input.pointer.key, &fetched));
+      }
+    }
+    for (const io::Record& record : fetched) {
+      LH_RETURN_NOT_OK(EmitFetched(input, record, filter_, out));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<io::File> file_;
+  Filter filter_;
+  std::shared_ptr<const index::PartitionBloom> bloom_;
+};
+
+class RangeDereferencer final : public Dereferencer {
+ public:
+  RangeDereferencer(std::string name, std::shared_ptr<io::BtreeFile> file,
+                    Filter filter, RangeRouting routing)
+      : Dereferencer(std::move(name)),
+        file_(std::move(file)),
+        filter_(std::move(filter)),
+        routing_(routing) {
+    LH_CHECK(file_ != nullptr);
+  }
+
+  bool WantsBroadcast() const override {
+    return routing_ == RangeRouting::kBroadcast;
+  }
+
+  Status Execute(const ExecContext& ctx, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    if (!input.is_range) {
+      return Status::InvalidArgument("range dereferencer '" + name() +
+                                     "' received a point pointer");
+    }
+    Status emit_status = Status::OK();
+    auto visit = [&](const io::Record& record) {
+      emit_status = EmitFetched(input, record, filter_, out);
+      return emit_status.ok();
+    };
+    if (input.pointer.has_partition) {
+      uint32_t partition =
+          file_->partitioner().PartitionOf(input.pointer.partition_key);
+      LH_RETURN_NOT_OK(file_->GetRangeInPartition(
+          ctx.node, partition, input.pointer.key, input.pointer_hi.key,
+          visit));
+    } else if (routing_ == RangeRouting::kPruneByKeyRange) {
+      // The structure is partitioned by the indexed key with an
+      // order-preserving partitioner: only the partitions whose key range
+      // intersects [lo, hi] can hold matches.
+      uint32_t lo_p = file_->partitioner().PartitionOf(input.pointer.key);
+      uint32_t hi_p = file_->partitioner().PartitionOf(input.pointer_hi.key);
+      if (hi_p < lo_p) std::swap(lo_p, hi_p);  // defensive
+      for (uint32_t p = lo_p; p <= hi_p; ++p) {
+        LH_RETURN_NOT_OK(file_->GetRangeInPartition(
+            ctx.node, p, input.pointer.key, input.pointer_hi.key, visit));
+      }
+    } else {
+      // Same broadcast-resolution rule as the point dereferencer above.
+      for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
+        if (input.resolve_local && file_->NodeOfPartition(p) != ctx.node) {
+          continue;
+        }
+        LH_RETURN_NOT_OK(file_->GetRangeInPartition(
+            ctx.node, p, input.pointer.key, input.pointer_hi.key, visit));
+      }
+    }
+    return emit_status;
+  }
+
+ private:
+  std::shared_ptr<io::BtreeFile> file_;
+  Filter filter_;
+  RangeRouting routing_;
+};
+
+class RetryingDereferencer final : public Dereferencer {
+ public:
+  RetryingDereferencer(StageFunctionPtr inner, size_t max_attempts)
+      : Dereferencer(inner->name() + "-retry"),
+        inner_(std::move(inner)),
+        max_attempts_(max_attempts) {
+    LH_CHECK_MSG(inner_->IsDereferencer(),
+                 "retry decorator wraps Dereferencers only");
+    LH_CHECK_MSG(max_attempts_ >= 1, "need at least one attempt");
+  }
+
+  bool WantsBroadcast() const override { return inner_->WantsBroadcast(); }
+
+  Status Execute(const ExecContext& ctx, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    Status last;
+    for (size_t attempt = 0; attempt < max_attempts_; ++attempt) {
+      std::vector<Tuple> scratch;
+      last = inner_->Execute(ctx, input, &scratch);
+      if (last.ok()) {
+        for (auto& tuple : scratch) out->push_back(std::move(tuple));
+        return Status::OK();
+      }
+      if (!last.IsIOError()) return last;  // not transient: fail fast
+    }
+    return last.WithContext("after " + std::to_string(max_attempts_) +
+                            " attempts");
+  }
+
+ private:
+  StageFunctionPtr inner_;
+  size_t max_attempts_;
+};
+
+}  // namespace
+
+StageFunctionPtr MakeRetryingDereferencer(StageFunctionPtr inner,
+                                          size_t max_attempts) {
+  return std::make_shared<RetryingDereferencer>(std::move(inner),
+                                                max_attempts);
+}
+
+StageFunctionPtr MakePointDereferencer(
+    std::string name, std::shared_ptr<io::File> file, Filter filter,
+    std::shared_ptr<const index::PartitionBloom> bloom) {
+  return std::make_shared<PointDereferencer>(std::move(name), std::move(file),
+                                             std::move(filter),
+                                             std::move(bloom));
+}
+
+StageFunctionPtr MakeRangeDereferencer(std::string name,
+                                       std::shared_ptr<io::BtreeFile> file,
+                                       Filter filter, RangeRouting routing) {
+  return std::make_shared<RangeDereferencer>(std::move(name), std::move(file),
+                                             std::move(filter), routing);
+}
+
+}  // namespace lakeharbor::rede

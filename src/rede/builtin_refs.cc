@@ -1,0 +1,150 @@
+#include "rede/builtin_refs.h"
+
+#include "index/index_entry.h"
+
+namespace lakeharbor::rede {
+
+namespace {
+
+StatusOr<size_t> ResolveBundleIndex(const Tuple& input, size_t bundle_index) {
+  if (input.records.empty()) {
+    return Status::InvalidArgument("referencer on empty bundle");
+  }
+  size_t i =
+      bundle_index == SIZE_MAX ? input.records.size() - 1 : bundle_index;
+  if (i >= input.records.size()) {
+    return Status::InvalidArgument("referencer bundle index out of range");
+  }
+  return i;
+}
+
+class KeyReferencer final : public Referencer {
+ public:
+  KeyReferencer(std::string name, Interpreter key_interp, size_t bundle_index,
+                Interpreter partition_interp, bool broadcast)
+      : Referencer(std::move(name)),
+        key_interp_(std::move(key_interp)),
+        partition_interp_(std::move(partition_interp)),
+        bundle_index_(bundle_index),
+        broadcast_(broadcast) {}
+
+  Status Execute(const ExecContext&, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    LH_ASSIGN_OR_RETURN(size_t i, ResolveBundleIndex(input, bundle_index_));
+    const io::Record& record = input.records[i];
+    LH_ASSIGN_OR_RETURN(std::string key, key_interp_(record));
+    Tuple next;
+    next.records = input.records;
+    if (broadcast_) {
+      next.pointer = io::Pointer::Broadcast(std::move(key));
+    } else if (partition_interp_) {
+      LH_ASSIGN_OR_RETURN(std::string pkey, partition_interp_(record));
+      next.pointer = io::Pointer(std::move(pkey), std::move(key));
+    } else {
+      next.pointer = io::Pointer::Keyed(std::move(key));
+    }
+    out->push_back(std::move(next));
+    return Status::OK();
+  }
+
+ private:
+  Interpreter key_interp_;
+  Interpreter partition_interp_;
+  size_t bundle_index_;
+  bool broadcast_;
+};
+
+class IndexEntryReferencer final : public Referencer {
+ public:
+  explicit IndexEntryReferencer(std::string name)
+      : Referencer(std::move(name)) {}
+
+  Status Execute(const ExecContext&, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    if (input.records.empty()) {
+      return Status::InvalidArgument("index-entry referencer on empty bundle");
+    }
+    LH_ASSIGN_OR_RETURN(io::Pointer ptr,
+                        index::ParseIndexEntry(input.last_record()));
+    Tuple next;
+    // The entry record was only a pointer carrier; drop it from the bundle
+    // so join output contains base records only.
+    next.records.assign(input.records.begin(), input.records.end() - 1);
+    next.pointer = std::move(ptr);
+    out->push_back(std::move(next));
+    return Status::OK();
+  }
+};
+
+class RangeReferencer final : public Referencer {
+ public:
+  RangeReferencer(std::string name, Interpreter lo_interp,
+                  Interpreter hi_interp, size_t bundle_index,
+                  Interpreter partition_interp)
+      : Referencer(std::move(name)),
+        lo_interp_(std::move(lo_interp)),
+        hi_interp_(std::move(hi_interp)),
+        partition_interp_(std::move(partition_interp)),
+        bundle_index_(bundle_index) {}
+
+  Status Execute(const ExecContext&, const Tuple& input,
+                 std::vector<Tuple>* out) const override {
+    LH_ASSIGN_OR_RETURN(size_t i, ResolveBundleIndex(input, bundle_index_));
+    const io::Record& record = input.records[i];
+    LH_ASSIGN_OR_RETURN(std::string lo, lo_interp_(record));
+    LH_ASSIGN_OR_RETURN(std::string hi, hi_interp_(record));
+    Tuple next;
+    next.records = input.records;
+    next.is_range = true;
+    if (partition_interp_) {
+      LH_ASSIGN_OR_RETURN(std::string pkey, partition_interp_(record));
+      next.pointer = io::Pointer(pkey, std::move(lo));
+      next.pointer_hi = io::Pointer(std::move(pkey), std::move(hi));
+    } else {
+      next.pointer = io::Pointer::Broadcast(std::move(lo));
+      next.pointer_hi = io::Pointer::Broadcast(std::move(hi));
+    }
+    out->push_back(std::move(next));
+    return Status::OK();
+  }
+
+ private:
+  Interpreter lo_interp_;
+  Interpreter hi_interp_;
+  Interpreter partition_interp_;
+  size_t bundle_index_;
+};
+
+}  // namespace
+
+StageFunctionPtr MakeKeyReferencer(std::string name, Interpreter key_interp,
+                                   size_t bundle_index,
+                                   Interpreter partition_interp) {
+  return std::make_shared<KeyReferencer>(std::move(name),
+                                         std::move(key_interp), bundle_index,
+                                         std::move(partition_interp),
+                                         /*broadcast=*/false);
+}
+
+StageFunctionPtr MakeBroadcastReferencer(std::string name,
+                                         Interpreter key_interp,
+                                         size_t bundle_index) {
+  return std::make_shared<KeyReferencer>(std::move(name),
+                                         std::move(key_interp), bundle_index,
+                                         nullptr, /*broadcast=*/true);
+}
+
+StageFunctionPtr MakeIndexEntryReferencer(std::string name) {
+  return std::make_shared<IndexEntryReferencer>(std::move(name));
+}
+
+StageFunctionPtr MakeRangeReferencer(std::string name, Interpreter lo_interp,
+                                     Interpreter hi_interp,
+                                     size_t bundle_index,
+                                     Interpreter partition_interp) {
+  return std::make_shared<RangeReferencer>(
+      std::move(name), std::move(lo_interp), std::move(hi_interp),
+      bundle_index, std::move(partition_interp));
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rede/functions.h"
+#include "rede/stage_function.h"
+
+/// \file builtin_refs.h
+/// Pre-defined Referencers (§III-B "Usability": the system ships the
+/// Referencers covering the indexing-scheme taxonomy; job authors supply
+/// only Interpreters). Each factory returns a shared, reusable function.
+
+namespace lakeharbor::rede {
+
+/// Emits one keyed pointer per input tuple: the in-partition key comes from
+/// `key_interp` applied to bundle record `bundle_index` (SIZE_MAX = newest),
+/// and the partition key from `partition_interp` (defaults to the same
+/// value — the common case where the target file is partitioned by the
+/// looked-up key). This is Referencer-2 of Fig 4 (foreign-key extraction).
+StageFunctionPtr MakeKeyReferencer(std::string name, Interpreter key_interp,
+                                   size_t bundle_index = SIZE_MAX,
+                                   Interpreter partition_interp = nullptr);
+
+/// Emits one *broadcast* pointer per input tuple: partition information is
+/// left null, so the executor replicates it to all partitions (§III-B
+/// broadcast joins).
+StageFunctionPtr MakeBroadcastReferencer(std::string name,
+                                         Interpreter key_interp,
+                                         size_t bundle_index = SIZE_MAX);
+
+/// Interprets the newest bundle record as an index entry (as produced by
+/// index::MakeIndexEntry) and emits the pointer it encodes, removing the
+/// entry record from the bundle. This is Referencer-1 of Fig 4: the bridge
+/// from an index dereference to the base-file dereference.
+StageFunctionPtr MakeIndexEntryReferencer(std::string name);
+
+/// Emits one range pointer [lo_interp(r), hi_interp(r)] per input tuple,
+/// routed by `partition_interp` when given, broadcast otherwise. Used for
+/// prefix lookups on composite-keyed BtreeFiles.
+StageFunctionPtr MakeRangeReferencer(std::string name, Interpreter lo_interp,
+                                     Interpreter hi_interp,
+                                     size_t bundle_index = SIZE_MAX,
+                                     Interpreter partition_interp = nullptr);
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "index/index_catalog.h"
+#include "io/catalog.h"
+#include "rede/executor.h"
+#include "rede/partitioned_executor.h"
+#include "rede/smpe_executor.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+
+/// Which execution strategy to use (the Fig 7 contrast).
+enum class ExecutionMode {
+  kSmpe,         ///< scalable massively parallel execution (Algorithm 1)
+  kPartitioned,  ///< structures + partitioned parallelism only
+};
+
+const char* ExecutionModeToString(ExecutionMode mode);
+
+struct EngineOptions {
+  SmpeOptions smpe;
+};
+
+/// Materialized job output, for callers that want tuples in hand.
+struct CollectedResult {
+  std::vector<Tuple> tuples;
+  MetricsSnapshot metrics;
+};
+
+/// The ReDe engine facade: one simulated cluster, a file catalog, the
+/// structure-maintenance machinery, and the two executors. This is the
+/// top-level public API — see examples/quickstart.cpp for the intended
+/// usage pattern:
+///
+///   sim::Cluster cluster(cluster_options);
+///   rede::Engine engine(&cluster);
+///   ... load raw files into engine.catalog() ...
+///   ... register access methods, build structures via engine ...
+///   LH_ASSIGN_OR_RETURN(Job job, JobBuilder("q").... .Build());
+///   LH_ASSIGN_OR_RETURN(CollectedResult r,
+///                       engine.ExecuteCollect(job, ExecutionMode::kSmpe));
+class Engine {
+ public:
+  explicit Engine(sim::Cluster* cluster, EngineOptions options = {});
+  LH_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  sim::Cluster& cluster() { return *cluster_; }
+  io::Catalog& catalog() { return catalog_; }
+  index::IndexBuilder& index_builder() { return index_builder_; }
+  index::IndexCatalog& index_catalog() { return index_catalog_; }
+
+  /// Register an access-method definition: build the structure described
+  /// by `spec` (synchronously) and record it in the index catalog under
+  /// `attribute`. This is the paradigm's "post hoc definition of access
+  /// methods" entry point.
+  StatusOr<std::shared_ptr<io::BtreeFile>> BuildStructure(
+      const index::IndexSpec& spec, const std::string& attribute);
+
+  /// Execute a job, streaming outputs into `sink` (nullable).
+  StatusOr<JobResult> Execute(const Job& job, ExecutionMode mode,
+                              const ResultSink& sink = nullptr);
+
+  /// Execute and materialize output tuples.
+  StatusOr<CollectedResult> ExecuteCollect(const Job& job, ExecutionMode mode);
+
+ private:
+  sim::Cluster* cluster_;
+  io::Catalog catalog_;
+  index::IndexBuilder index_builder_;
+  index::IndexCatalog index_catalog_;
+  SmpeExecutor smpe_executor_;
+  PartitionedExecutor partitioned_executor_;
+};
+
+}  // namespace lakeharbor::rede

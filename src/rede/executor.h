@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rede/job.h"
+#include "rede/metrics.h"
+
+namespace lakeharbor::rede {
+
+/// Receives job output tuples (emissions of the final stage). Called from
+/// many executor threads concurrently; implementations must be thread-safe.
+using ResultSink = std::function<void(const Tuple& tuple)>;
+
+/// What an executor returns besides the output stream.
+struct JobResult {
+  MetricsSnapshot metrics;
+};
+
+/// Common interface of the two ReDe execution strategies evaluated in
+/// Fig 7: SmpeExecutor (w/ SMPE) and PartitionedExecutor (w/o SMPE).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual const std::string& name() const = 0;
+
+  /// Run the job, streaming output tuples into `sink` (may be null when
+  /// only metrics are wanted). Blocking; returns when the job has drained.
+  virtual StatusOr<JobResult> Execute(const Job& job,
+                                      const ResultSink& sink) = 0;
+};
+
+/// Thread-safe tuple collector for callers that want materialized results.
+class TupleCollector {
+ public:
+  ResultSink AsSink() {
+    return [this](const Tuple& tuple) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tuples_.push_back(tuple);
+    };
+  }
+
+  std::vector<Tuple> TakeTuples() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(tuples_);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tuples_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace lakeharbor::rede

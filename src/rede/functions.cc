@@ -1,0 +1,17 @@
+#include "rede/functions.h"
+
+#include "io/key_codec.h"
+
+namespace lakeharbor::rede {
+
+Interpreter EncodedInt64FieldInterpreter(size_t field_index, char delim) {
+  return [field_index, delim](const io::Record& record)
+             -> StatusOr<std::string> {
+    LH_ASSIGN_OR_RETURN(
+        int64_t value,
+        ParseInt64(FieldAt(record.slice().view(), delim, field_index)));
+    return io::EncodeInt64Key(value);
+  };
+}
+
+}  // namespace lakeharbor::rede

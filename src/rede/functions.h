@@ -1,0 +1,89 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/status_or.h"
+#include "common/string_util.h"
+#include "io/record.h"
+#include "rede/tuple.h"
+
+namespace lakeharbor::rede {
+
+/// An Interpreter "interprets a given record with schema-on-read" (§III-B):
+/// raw record bytes in, extracted key bytes out. Interpreters are the only
+/// place schemas exist in a ReDe job — the engine itself is schema-free.
+using Interpreter =
+    std::function<StatusOr<std::string>(const io::Record& record)>;
+
+/// A Filter interprets the *bundle* with schema-on-read and drops tuples
+/// whose condition does not match (attached to Dereferencers, §III-B).
+using Filter = std::function<StatusOr<bool>(const Tuple& tuple)>;
+
+/// Interpreter for '|'-delimited text (the TPC-H table encoding): extracts
+/// field `field_index`.
+inline Interpreter DelimitedFieldInterpreter(size_t field_index,
+                                             char delim = '|') {
+  return [field_index, delim](const io::Record& record)
+             -> StatusOr<std::string> {
+    std::string_view field =
+        FieldAt(record.slice().view(), delim, field_index);
+    if (field.empty() && FieldCount(record.slice().view(), delim) <=
+                             field_index) {
+      return Status::InvalidArgument("record has no field " +
+                                     std::to_string(field_index));
+    }
+    return std::string(field);
+  };
+}
+
+/// Interpreter for '|'-delimited text whose extracted field is an integer,
+/// returned in the order-preserving key encoding — the common case when the
+/// pointed-at file is keyed by an integer primary key.
+Interpreter EncodedInt64FieldInterpreter(size_t field_index, char delim = '|');
+
+/// Filter accepting every tuple (the default when none is supplied).
+inline Filter AcceptAllFilter() {
+  return [](const Tuple&) -> StatusOr<bool> { return true; };
+}
+
+/// Filter comparing two interpreted keys drawn from two bundle positions
+/// (cross-record join predicates such as `c_nationkey = s_nationkey`).
+inline Filter BundleEqualityFilter(size_t index_a, Interpreter interp_a,
+                                   size_t index_b, Interpreter interp_b) {
+  return [=](const Tuple& tuple) -> StatusOr<bool> {
+    if (index_a >= tuple.records.size() || index_b >= tuple.records.size()) {
+      return Status::InvalidArgument("bundle index out of range in filter");
+    }
+    LH_ASSIGN_OR_RETURN(std::string a, interp_a(tuple.records[index_a]));
+    LH_ASSIGN_OR_RETURN(std::string b, interp_b(tuple.records[index_b]));
+    return a == b;
+  };
+}
+
+/// Filter testing an interpreted key of the newest bundle record against an
+/// inclusive range.
+inline Filter LastRecordRangeFilter(Interpreter interp, std::string lo,
+                                    std::string hi) {
+  return [=](const Tuple& tuple) -> StatusOr<bool> {
+    if (tuple.records.empty()) {
+      return Status::InvalidArgument("range filter on empty bundle");
+    }
+    LH_ASSIGN_OR_RETURN(std::string key, interp(tuple.last_record()));
+    return lo <= key && key <= hi;
+  };
+}
+
+/// Filter testing an interpreted key of the newest bundle record for
+/// equality with a constant (e.g. `r_name = 'ASIA'`).
+inline Filter LastRecordEqualsFilter(Interpreter interp, std::string value) {
+  return [=](const Tuple& tuple) -> StatusOr<bool> {
+    if (tuple.records.empty()) {
+      return Status::InvalidArgument("equality filter on empty bundle");
+    }
+    LH_ASSIGN_OR_RETURN(std::string key, interp(tuple.last_record()));
+    return key == value;
+  };
+}
+
+}  // namespace lakeharbor::rede

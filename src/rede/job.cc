@@ -1,0 +1,67 @@
+#include "rede/job.h"
+
+#include "common/string_util.h"
+
+namespace lakeharbor::rede {
+
+std::string Job::Describe(const MetricsSnapshot* metrics) const {
+  std::string out = "job '" + name_ + "'\n";
+  out += "  initial: ";
+  if (initial_input_.is_range) {
+    out += "range [" + initial_input_.pointer.key + ", " +
+           initial_input_.pointer_hi.key + "]";
+  } else {
+    out += "point " + initial_input_.pointer.key;
+  }
+  if (!initial_input_.pointer.has_partition) {
+    out += initial_input_.resolve_local ? " (broadcast, resolved locally)"
+                                        : " (partition-pruned)";
+  }
+  out += "\n";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const StageFunction& fn = *stages_[i];
+    out += StrFormat("  stage %zu: %-13s %s", i,
+                     fn.IsDereferencer() ? "Dereferencer" : "Referencer",
+                     fn.name().c_str());
+    if (fn.IsDereferencer() && !fn.WantsBroadcast()) {
+      out += " [prunes partitions]";
+    }
+    if (metrics != nullptr && i < metrics->per_stage.size()) {
+      out += StrFormat("  (invoked %llu, emitted %llu)",
+                       static_cast<unsigned long long>(
+                           metrics->per_stage[i].invocations),
+                       static_cast<unsigned long long>(
+                           metrics->per_stage[i].emitted));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<Job> JobBuilder::Build() {
+  if (job_.stages_.empty()) {
+    return Status::InvalidArgument("job '" + job_.name_ + "' has no stages");
+  }
+  for (size_t i = 0; i < job_.stages_.size(); ++i) {
+    if (job_.stages_[i] == nullptr) {
+      return Status::InvalidArgument("job '" + job_.name_ + "' stage " +
+                                     std::to_string(i) + " is null");
+    }
+  }
+  if (!job_.stages_.front()->IsDereferencer()) {
+    return Status::InvalidArgument(
+        "job '" + job_.name_ +
+        "' must start with a Dereferencer consuming the initial pointer");
+  }
+  // The initial input reaches the first dereferencer exactly like a
+  // broadcast tuple when it carries no partition information — unless the
+  // first stage opts out of broadcasting (partition-pruning dereferencers
+  // locate their partitions themselves and must run exactly once).
+  if (!job_.initial_input_.pointer.has_partition &&
+      job_.stages_.front()->WantsBroadcast()) {
+    job_.initial_input_.resolve_local = true;
+  }
+  return std::move(job_);
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rede/stage_function.h"
+#include "rede/tuple.h"
+
+namespace lakeharbor::rede {
+
+/// A ReDe job: an initial input plus the ordered list of Referencer and
+/// Dereferencer functions (§III-B). "The order of funcs specifies data
+/// dependencies, and funcs define structural information" (Algorithm 1).
+///
+/// Jobs are immutable once built and safe to execute concurrently.
+class Job {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<StageFunctionPtr>& stages() const { return stages_; }
+  const Tuple& initial_input() const { return initial_input_; }
+  size_t num_stages() const { return stages_.size(); }
+
+  /// Human-readable plan: one line per stage (kind, name, routing), plus
+  /// the initial input. Pass a MetricsSnapshot from a finished run to annotate
+  /// each stage with its invocation/emission counts.
+  std::string Describe(const MetricsSnapshot* metrics = nullptr) const;
+
+ private:
+  friend class JobBuilder;
+  std::string name_;
+  std::vector<StageFunctionPtr> stages_;
+  Tuple initial_input_;
+};
+
+/// Fluent builder. Composing a job "is similar to creating a MapReduce job
+/// caring for how data is partitioned": pick pre-defined stage functions,
+/// supply Interpreters/Filters, and chain them.
+///
+///   LH_ASSIGN_OR_RETURN(Job job, JobBuilder("part-lineitem-join")
+///       .Initial(Tuple::Range(lo, hi))
+///       .Add(MakeRangeDereferencer("deref-0", retailprice_index))
+///       .Add(MakeIndexEntryReferencer("ref-1"))
+///       .Add(MakePointDereferencer("deref-1", part_file))
+///       ...
+///       .Build());
+class JobBuilder {
+ public:
+  explicit JobBuilder(std::string name) { job_.name_ = std::move(name); }
+
+  /// The pointer (or pointer range) fed to the first Dereferencer. A
+  /// pointer without partition information is resolved per node against
+  /// local partitions, which is how jobs fan out over local indexes.
+  JobBuilder& Initial(Tuple input) {
+    job_.initial_input_ = std::move(input);
+    return *this;
+  }
+
+  JobBuilder& Add(StageFunctionPtr stage) {
+    job_.stages_.push_back(std::move(stage));
+    return *this;
+  }
+
+  /// Validates and returns the job:
+  ///  - at least one stage;
+  ///  - the first stage is a Dereferencer (it consumes the initial pointer);
+  ///  - no null stages.
+  StatusOr<Job> Build();
+
+ private:
+  Job job_;
+};
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace lakeharbor::rede {
+
+/// Per-stage counters (invocations of the stage function and tuples it
+/// emitted). Sized once per run; elements are stable in memory.
+struct StageCounters {
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> emitted{0};
+};
+
+/// Executor-side counters, independent of the device-level sim counters.
+/// `peak_parallel_derefs` is the headline SMPE observable: how many
+/// fine-grained I/O tasks were genuinely in flight at once.
+struct ExecMetricsCounters {
+  std::atomic<uint64_t> ref_invocations{0};
+  std::atomic<uint64_t> deref_invocations{0};
+  std::atomic<uint64_t> tuples_emitted{0};
+  std::atomic<uint64_t> broadcasts{0};
+  std::atomic<uint64_t> output_tuples{0};
+  std::atomic<int64_t> active_derefs{0};
+  std::atomic<int64_t> peak_parallel_derefs{0};
+  /// One slot per job stage; constructed by the executor at run start.
+  std::vector<StageCounters> per_stage;
+
+  void InitStages(size_t num_stages) {
+    per_stage = std::vector<StageCounters>(num_stages);
+  }
+  void CountStage(size_t stage, uint64_t emitted) {
+    if (stage >= per_stage.size()) return;
+    per_stage[stage].invocations.fetch_add(1, std::memory_order_relaxed);
+    per_stage[stage].emitted.fetch_add(emitted, std::memory_order_relaxed);
+  }
+
+  void EnterDeref() {
+    int64_t now = active_derefs.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t peak = peak_parallel_derefs.load(std::memory_order_relaxed);
+    while (now > peak && !peak_parallel_derefs.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void ExitDeref() { active_derefs.fetch_sub(1, std::memory_order_relaxed); }
+
+  void Reset() {
+    ref_invocations = 0;
+    deref_invocations = 0;
+    tuples_emitted = 0;
+    broadcasts = 0;
+    output_tuples = 0;
+    active_derefs = 0;
+    peak_parallel_derefs = 0;
+    for (auto& stage : per_stage) {
+      stage.invocations = 0;
+      stage.emitted = 0;
+    }
+  }
+};
+
+/// Plain copyable per-stage snapshot.
+struct StageSnapshot {
+  uint64_t invocations = 0;
+  uint64_t emitted = 0;
+};
+
+/// Plain copyable snapshot returned with job results.
+struct MetricsSnapshot {
+  uint64_t ref_invocations = 0;
+  uint64_t deref_invocations = 0;
+  uint64_t tuples_emitted = 0;
+  uint64_t broadcasts = 0;
+  uint64_t output_tuples = 0;
+  int64_t peak_parallel_derefs = 0;
+  double wall_ms = 0.0;
+  std::vector<StageSnapshot> per_stage;
+
+  static MetricsSnapshot From(const ExecMetricsCounters& c, double wall_ms) {
+    MetricsSnapshot s;
+    s.ref_invocations = c.ref_invocations.load();
+    s.deref_invocations = c.deref_invocations.load();
+    s.tuples_emitted = c.tuples_emitted.load();
+    s.broadcasts = c.broadcasts.load();
+    s.output_tuples = c.output_tuples.load();
+    s.peak_parallel_derefs = c.peak_parallel_derefs.load();
+    s.wall_ms = wall_ms;
+    s.per_stage.reserve(c.per_stage.size());
+    for (const auto& stage : c.per_stage) {
+      s.per_stage.push_back(
+          StageSnapshot{stage.invocations.load(), stage.emitted.load()});
+    }
+    return s;
+  }
+};
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,94 @@
+#include "rede/partitioned_executor.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lakeharbor::rede {
+
+namespace {
+
+struct WorkerShared {
+  const Job* job;
+  sim::Cluster* cluster;
+  ExecMetricsCounters metrics;
+  std::mutex sink_mutex;
+  const ResultSink* sink;
+};
+
+/// Depth-first, single-threaded evaluation of the stage chain: each emitted
+/// tuple is driven through the remaining stages before the next sibling —
+/// no intra-partition parallelism, by design.
+Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
+                    const Tuple& tuple) {
+  if (stage >= shared.job->num_stages()) {
+    shared.metrics.output_tuples.fetch_add(1, std::memory_order_relaxed);
+    if (shared.sink != nullptr && *shared.sink) {
+      std::lock_guard<std::mutex> lock(shared.sink_mutex);
+      (*shared.sink)(tuple);
+    }
+    return Status::OK();
+  }
+  const StageFunction& fn = *shared.job->stages()[stage];
+  ExecContext ctx{node, shared.cluster, &shared.metrics};
+  std::vector<Tuple> outs;
+  if (fn.IsDereferencer()) {
+    shared.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
+    shared.metrics.EnterDeref();
+    Status status = fn.Execute(ctx, tuple, &outs);
+    shared.metrics.ExitDeref();
+    LH_RETURN_NOT_OK(status.WithContext(fn.name()));
+  } else {
+    shared.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
+    LH_RETURN_NOT_OK(fn.Execute(ctx, tuple, &outs).WithContext(fn.name()));
+  }
+  shared.metrics.tuples_emitted.fetch_add(outs.size(),
+                                          std::memory_order_relaxed);
+  shared.metrics.CountStage(stage, outs.size());
+  for (const Tuple& out : outs) {
+    LH_RETURN_NOT_OK(ProcessTuple(shared, node, stage + 1, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
+                                                 const ResultSink& sink) {
+  StopWatch watch;
+  WorkerShared shared;
+  shared.job = &job;
+  shared.cluster = cluster_;
+  shared.sink = &sink;
+  shared.metrics.InitStages(job.num_stages());
+
+  const Tuple& initial = job.initial_input();
+  std::vector<Status> statuses;
+  if (!initial.resolve_local) {
+    // Keyed (or partition-pruning) initial pointer: exactly one evaluation.
+    statuses.push_back(ProcessTuple(shared, /*node=*/0, 0, initial));
+  } else {
+    // One worker per node, each resolving the initial input against its
+    // local partitions (resolve_local was set by JobBuilder::Build).
+    const uint32_t num_nodes = cluster_->num_nodes();
+    statuses.resize(num_nodes);
+    std::vector<std::thread> workers;
+    workers.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      workers.emplace_back([&shared, &statuses, &initial, n] {
+        statuses[n] = ProcessTuple(shared, n, 0, initial);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  for (const Status& status : statuses) {
+    LH_RETURN_NOT_OK(status);
+  }
+  JobResult result;
+  result.metrics = MetricsSnapshot::From(shared.metrics, watch.ElapsedMillis());
+  return result;
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "rede/executor.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+
+/// "ReDe (w/o SMPE)" of Fig 7: the same structures and the same Reference-
+/// Dereference job, executed with only the *partitioned parallelism given
+/// from data partitions* — one worker per node, each processing its local
+/// partitions depth-first, synchronously, with no fine-grained task
+/// decomposition. This is the conservative execution style the paper
+/// ascribes to existing structure-on-lake systems.
+class PartitionedExecutor final : public Executor {
+ public:
+  explicit PartitionedExecutor(sim::Cluster* cluster) : cluster_(cluster) {
+    LH_CHECK(cluster_ != nullptr);
+  }
+  LH_DISALLOW_COPY_AND_ASSIGN(PartitionedExecutor);
+
+  const std::string& name() const override { return name_; }
+
+  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
+
+ private:
+  std::string name_ = "rede-partitioned";
+  sim::Cluster* cluster_;
+};
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,198 @@
+#include "rede/smpe_executor.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace lakeharbor::rede {
+
+namespace {
+/// Approximate wire size of a tuple shipped in a broadcast message.
+size_t ApproxTupleBytes(const Tuple& tuple) {
+  size_t bytes = tuple.pointer.key.size() + tuple.pointer.partition_key.size();
+  for (const auto& record : tuple.records) bytes += record.size();
+  return bytes + 16;
+}
+}  // namespace
+
+/// All state of one Execute() call. Kept off the executor object so that
+/// concurrent Execute() calls (sharing only the immutable pools) are safe.
+struct SmpeExecutor::RunState {
+  const Job* job = nullptr;
+  ExecMetricsCounters metrics;
+  InflightTracker inflight;
+  std::vector<std::unique_ptr<MpmcQueue<Task>>> queues;
+
+  std::mutex sink_mutex;
+  ResultSink sink;
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  Status error;
+
+  void RecordError(const Status& status, const std::string& where) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (error.ok()) error = status.WithContext(where);
+    failed.store(true, std::memory_order_release);
+  }
+
+  bool Failed() const { return failed.load(std::memory_order_acquire); }
+
+  void Emit(const Tuple& tuple) {
+    metrics.output_tuples.fetch_add(1, std::memory_order_relaxed);
+    if (!sink) return;
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    sink(tuple);
+  }
+};
+
+SmpeExecutor::SmpeExecutor(sim::Cluster* cluster, SmpeOptions options)
+    : cluster_(cluster), options_(options) {
+  LH_CHECK(cluster_ != nullptr);
+  LH_CHECK_MSG(options_.threads_per_node > 0,
+               "SMPE needs at least one thread per node");
+  pools_.reserve(cluster_->num_nodes());
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node));
+  }
+}
+
+SmpeExecutor::~SmpeExecutor() = default;
+
+void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
+                           Task task) const {
+  if (state.Failed()) {
+    state.inflight.Done();
+    return;
+  }
+  const StageFunction& fn = *state.job->stages()[task.stage];
+  ExecContext ctx{node, cluster_, &state.metrics};
+  std::vector<Tuple> outs;
+  Status status;
+  if (fn.IsDereferencer()) {
+    state.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
+    state.metrics.EnterDeref();
+    status = fn.Execute(ctx, task.tuple, &outs);
+    state.metrics.ExitDeref();
+  } else {
+    state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
+    status = fn.Execute(ctx, task.tuple, &outs);
+  }
+  if (!status.ok()) {
+    state.RecordError(status, fn.name());
+  } else {
+    state.metrics.CountStage(task.stage, outs.size());
+    Route(state, node, task.stage + 1, std::move(outs));
+  }
+  state.inflight.Done();
+}
+
+void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
+                         std::vector<Tuple>&& tuples) const {
+  state.metrics.tuples_emitted.fetch_add(tuples.size(),
+                                         std::memory_order_relaxed);
+  if (next_stage >= state.job->num_stages()) {
+    for (const Tuple& tuple : tuples) state.Emit(tuple);
+    return;
+  }
+  const StageFunction& next_fn = *state.job->stages()[next_stage];
+  for (Tuple& tuple : tuples) {
+    if (state.Failed()) return;
+    if (!next_fn.IsDereferencer() && options_.inline_referencers) {
+      // The paper's optimization: Referencers are lightweight, so run them
+      // on the emitting thread instead of round-tripping through the queue.
+      ExecContext ctx{node, cluster_, &state.metrics};
+      std::vector<Tuple> outs;
+      state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
+      Status status = next_fn.Execute(ctx, tuple, &outs);
+      if (!status.ok()) {
+        state.RecordError(status, next_fn.name());
+        return;
+      }
+      state.metrics.CountStage(next_stage, outs.size());
+      Route(state, node, next_stage + 1, std::move(outs));
+      continue;
+    }
+    if (next_fn.IsDereferencer() && !tuple.pointer.has_partition &&
+        !tuple.resolve_local && next_fn.WantsBroadcast()) {
+      // Broadcast: replicate to every node's queue marked for local
+      // resolution (Algorithm 1, lines 28-33).
+      state.metrics.broadcasts.fetch_add(1, std::memory_order_relaxed);
+      size_t bytes = ApproxTupleBytes(tuple);
+      for (sim::NodeId m = 0; m < cluster_->num_nodes(); ++m) {
+        Status status = cluster_->ChargeMessage(node, m, bytes);
+        if (!status.ok()) {
+          state.RecordError(status, "broadcast");
+          return;
+        }
+        Tuple copy = tuple;
+        copy.resolve_local = true;
+        state.inflight.Add();
+        state.queues[m]->Push(Task{next_stage, std::move(copy)});
+      }
+      continue;
+    }
+    // Keyed (or already-localized) tuple: the task stays on the emitting
+    // node; its Dereferencer performs the possibly-remote fetch.
+    state.inflight.Add();
+    state.queues[node]->Push(Task{next_stage, std::move(tuple)});
+  }
+}
+
+StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
+                                          const ResultSink& sink) {
+  StopWatch watch;
+  RunState state;
+  state.job = &job;
+  state.sink = sink;
+  state.metrics.InitStages(job.num_stages());
+  const uint32_t num_nodes = cluster_->num_nodes();
+  state.queues.reserve(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    state.queues.push_back(std::make_unique<MpmcQueue<Task>>());
+  }
+
+  // Dispatchers: one per node, handing queued tasks to the node's pool so
+  // that executing a function never blocks dequeueing (Fig 6's model).
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    dispatchers.emplace_back([this, &state, n] {
+      while (auto task = state.queues[n]->Pop()) {
+        pools_[n]->Submit(
+            [this, &state, n, t = std::move(*task)]() mutable {
+              RunTask(state, n, std::move(t));
+            });
+      }
+    });
+  }
+
+  // Seed: a broadcast initial input (the common case — e.g. a range over a
+  // local secondary index; resolve_local was set by JobBuilder::Build)
+  // starts on every node; a keyed or partition-pruning one is one task.
+  const Tuple& initial = job.initial_input();
+  if (initial.resolve_local) {
+    state.inflight.Add(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      state.queues[n]->Push(Task{0, initial});
+    }
+  } else {
+    state.inflight.Add();
+    state.queues[0]->Push(Task{0, initial});
+  }
+
+  state.inflight.AwaitZero();
+  for (auto& queue : state.queues) queue->Close();
+  for (auto& dispatcher : dispatchers) dispatcher.join();
+
+  {
+    std::lock_guard<std::mutex> lock(state.error_mutex);
+    if (!state.error.ok()) return state.error;
+  }
+  JobResult result;
+  result.metrics = MetricsSnapshot::From(state.metrics, watch.ElapsedMillis());
+  return result;
+}
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rede/metrics.h"
+#include "rede/tuple.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+
+/// Per-invocation execution context: which simulated node the function is
+/// running on (determines locality of charged I/O) plus shared counters.
+struct ExecContext {
+  sim::NodeId node = 0;
+  sim::Cluster* cluster = nullptr;
+  ExecMetricsCounters* metrics = nullptr;
+};
+
+/// Base of the two function kinds composing a ReDe job (§III-B). The
+/// executor dispatches on IsDereferencer(): Dereferencers incur I/O and run
+/// on pool threads; Referencers are CPU-cheap and by default run inline on
+/// the emitting thread ("ReDe does not switch threads for Referencers").
+class StageFunction {
+ public:
+  virtual ~StageFunction() = default;
+
+  virtual bool IsDereferencer() const = 0;
+  virtual const std::string& name() const = 0;
+
+  /// How the executor should treat an incoming tuple WITHOUT partition
+  /// information. True (default): replicate it to every node for local
+  /// resolution (the paper's broadcast). False: keep it on one node — the
+  /// function can locate the relevant partitions itself (e.g. a range
+  /// dereference over a range-partitioned structure prunes to the
+  /// partitions its key range intersects).
+  virtual bool WantsBroadcast() const { return true; }
+
+  /// Consume one input tuple, append emitted tuples to `out`. Emissions
+  /// feed the next stage (or the job output when this is the last stage).
+  virtual Status Execute(const ExecContext& ctx, const Tuple& input,
+                         std::vector<Tuple>* out) const = 0;
+};
+
+/// A Referencer takes a record (bundle) and produces pointers to records it
+/// is associated with. Pure CPU; never touches storage.
+class Referencer : public StageFunction {
+ public:
+  explicit Referencer(std::string name) : name_(std::move(name)) {}
+  bool IsDereferencer() const final { return false; }
+  const std::string& name() const final { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A Dereferencer takes a pointer (or pointer range) and produces the
+/// records it points to, reading from the File or BtreeFile it manages.
+class Dereferencer : public StageFunction {
+ public:
+  explicit Dereferencer(std::string name) : name_(std::move(name)) {}
+  bool IsDereferencer() const final { return true; }
+  const std::string& name() const final { return name_; }
+
+ private:
+  std::string name_;
+};
+
+using StageFunctionPtr = std::shared_ptr<const StageFunction>;
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,75 @@
+#include "rede/statistics.h"
+
+#include <algorithm>
+
+namespace lakeharbor::rede {
+
+StatusOr<EquiDepthHistogram> EquiDepthHistogram::Build(
+    io::PartitionedFile& index, size_t num_buckets) {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  // Collect the key multiset with one charged pass over every partition
+  // (the build runs on each partition's owning node, so scans are local).
+  std::vector<std::string> keys;
+  keys.reserve(index.num_records());
+  for (uint32_t p = 0; p < index.num_partitions(); ++p) {
+    LH_RETURN_NOT_OK(index.ScanPartitionKeyed(
+        index.NodeOfPartition(p), p,
+        [&](const std::string& key, const io::Record&) {
+          keys.push_back(key);
+          return true;
+        }));
+  }
+  EquiDepthHistogram histogram;
+  histogram.total_ = keys.size();
+  if (keys.empty()) return histogram;
+
+  std::sort(keys.begin(), keys.end());
+  histogram.min_key_ = keys.front();
+  histogram.max_key_ = keys.back();
+
+  const size_t depth = std::max<size_t>(1, keys.size() / num_buckets);
+  size_t start = 0;
+  while (start < keys.size()) {
+    size_t end = std::min(keys.size(), start + depth);
+    // Never split a run of duplicates across buckets: extend the bucket to
+    // the end of the run so that upper bounds are distinct.
+    while (end < keys.size() && keys[end] == keys[end - 1]) ++end;
+    histogram.upper_bounds_.push_back(keys[end - 1]);
+    histogram.depths_.push_back(static_cast<uint64_t>(end - start));
+    start = end;
+  }
+  return histogram;
+}
+
+double EquiDepthHistogram::EstimateMatches(const std::string& lo,
+                                           const std::string& hi) const {
+  if (total_ == 0 || hi < lo || hi < min_key_ || lo > max_key_) return 0.0;
+  double estimate = 0.0;
+  std::string bucket_lo = min_key_;
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    const std::string& bucket_hi = upper_bounds_[i];
+    // Bucket i spans [bucket_lo, bucket_hi] (first bucket) or
+    // (prev_hi, bucket_hi] — treated as a closed span for overlap tests.
+    const bool overlaps = !(hi < bucket_lo || lo > bucket_hi);
+    if (overlaps) {
+      const bool fully_covered = lo <= bucket_lo && bucket_hi <= hi;
+      // Boundary buckets count half their depth: keys are opaque bytes, so
+      // no finer intra-bucket interpolation is possible.
+      estimate += fully_covered ? static_cast<double>(depths_[i])
+                                : static_cast<double>(depths_[i]) / 2.0;
+    }
+    bucket_lo = bucket_hi;
+    if (bucket_hi > hi) break;
+  }
+  return std::min(estimate, static_cast<double>(total_));
+}
+
+double EquiDepthHistogram::EstimateSelectivity(const std::string& lo,
+                                               const std::string& hi) const {
+  if (total_ == 0) return 0.0;
+  return EstimateMatches(lo, hi) / static_cast<double>(total_);
+}
+
+}  // namespace lakeharbor::rede

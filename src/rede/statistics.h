@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "io/partitioned_file.h"
+
+namespace lakeharbor::rede {
+
+/// An equi-depth histogram over the key domain of a structure, built by
+/// scanning the structure once (a real, charged pass — statistics are not
+/// free). Used by the StructureAdvisor to estimate how many entries a key
+/// range covers without probing at query time — one concrete step along
+/// §V-A's "higher-level abstraction brings ... an opportunity for query
+/// optimizations".
+///
+/// Buckets hold equal entry counts; a range estimate counts fully covered
+/// buckets exactly and partially covered boundary buckets at half depth
+/// (keys are opaque byte strings, so no intra-bucket interpolation).
+class EquiDepthHistogram {
+ public:
+  /// Scan `index` and build `num_buckets` equi-depth buckets. Charges one
+  /// sequential pass over every partition of the structure.
+  static StatusOr<EquiDepthHistogram> Build(io::PartitionedFile& index,
+                                            size_t num_buckets);
+
+  /// Estimated number of entries with lo <= key <= hi (inclusive).
+  double EstimateMatches(const std::string& lo, const std::string& hi) const;
+
+  /// Estimated fraction of all entries in [lo, hi].
+  double EstimateSelectivity(const std::string& lo,
+                             const std::string& hi) const;
+
+  uint64_t total_entries() const { return total_; }
+  size_t num_buckets() const { return upper_bounds_.size(); }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+ private:
+  // Bucket i covers (upper_bounds_[i-1], upper_bounds_[i]] with depth_[i]
+  // entries; the first bucket starts at min_key_.
+  std::vector<std::string> upper_bounds_;
+  std::vector<uint64_t> depths_;
+  std::string min_key_;
+  std::string max_key_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lakeharbor::rede

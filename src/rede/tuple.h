@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/pointer.h"
+#include "io/record.h"
+
+namespace lakeharbor::rede {
+
+/// The unit of data flowing between stages of a ReDe job.
+///
+/// `records` is the *bundle*: the records joined so far, in stage order —
+/// what "SELECT *" ultimately returns. Referencers read any bundle element
+/// (cross-record predicates like `c_nationkey = s_nationkey` need earlier
+/// join partners); Dereferencers append the records they fetch.
+///
+/// `pointer` (plus `pointer_hi` for ranges) is the pending pointer the next
+/// Dereferencer resolves. `resolve_local` is Algorithm 1's SETPARTITION(
+/// input, LOCAL): this copy of a broadcast tuple must be resolved against
+/// the receiving node's local partitions only.
+struct Tuple {
+  std::vector<io::Record> records;
+  io::Pointer pointer;
+  io::Pointer pointer_hi;
+  bool is_range = false;
+  bool resolve_local = false;
+
+  /// Point-lookup tuple (empty bundle) for job initial inputs.
+  static Tuple Point(io::Pointer ptr) {
+    Tuple t;
+    t.pointer = std::move(ptr);
+    return t;
+  }
+
+  /// Range tuple [lo, hi] (empty bundle) for job initial inputs. Range
+  /// pointers without partition information are resolved on every node's
+  /// local partitions (the local-secondary-index scan of Fig 7's setup).
+  static Tuple Range(io::Pointer lo, io::Pointer hi) {
+    Tuple t;
+    t.pointer = std::move(lo);
+    t.pointer_hi = std::move(hi);
+    t.is_range = true;
+    return t;
+  }
+
+  /// The most recently appended record. Bundle must be non-empty.
+  const io::Record& last_record() const { return records.back(); }
+};
+
+}  // namespace lakeharbor::rede

@@ -1,0 +1,71 @@
+#include "sim/cluster.h"
+
+namespace lakeharbor::sim {
+
+Cluster::Cluster(ClusterOptions options) : options_(options) {
+  LH_CHECK_MSG(options.num_nodes > 0, "cluster needs at least one node");
+  nodes_.reserve(options.num_nodes);
+  for (NodeId id = 0; id < options.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<Node>(id, options.disk));
+  }
+  network_ = std::make_unique<Network>(options.network);
+}
+
+Status Cluster::ChargeRandomRead(NodeId compute_node, NodeId storage_node,
+                                 size_t bytes) {
+  LH_CHECK(storage_node < nodes_.size());
+  LH_RETURN_NOT_OK(nodes_[storage_node]->disk().RandomRead(bytes));
+  if (compute_node != storage_node) {
+    LH_RETURN_NOT_OK(network_->Transfer(bytes));
+  }
+  return Status::OK();
+}
+
+Status Cluster::ChargeSequentialRead(NodeId compute_node, NodeId storage_node,
+                                     size_t bytes) {
+  LH_CHECK(storage_node < nodes_.size());
+  LH_RETURN_NOT_OK(nodes_[storage_node]->disk().SequentialRead(bytes));
+  if (compute_node != storage_node) {
+    LH_RETURN_NOT_OK(network_->Transfer(bytes));
+  }
+  return Status::OK();
+}
+
+Status Cluster::ChargeWrite(NodeId compute_node, NodeId storage_node,
+                            size_t bytes) {
+  LH_CHECK(storage_node < nodes_.size());
+  if (compute_node != storage_node) {
+    LH_RETURN_NOT_OK(network_->Transfer(bytes));
+  }
+  return nodes_[storage_node]->disk().Write(bytes);
+}
+
+Status Cluster::ChargeMessage(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) return Status::OK();
+  return network_->Transfer(bytes);
+}
+
+ResourceTotals Cluster::TotalStats() const {
+  ResourceTotals total;
+  for (const auto& node : nodes_) {
+    total.Merge(node->disk().stats());
+  }
+  total.Merge(network_->stats());
+  return total;
+}
+
+void Cluster::SetTimingEnabled(bool enabled) {
+  for (auto& node : nodes_) {
+    node->disk().SetTimingEnabled(enabled);
+  }
+  network_->SetTimingEnabled(enabled);
+}
+
+void Cluster::ResetStats() {
+  for (auto& node : nodes_) {
+    node->disk().mutable_stats().Reset();
+  }
+  network_->mutable_stats().Reset();
+}
+
+}  // namespace lakeharbor::sim

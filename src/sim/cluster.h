@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/resource_stats.h"
+
+namespace lakeharbor::sim {
+
+using NodeId = uint32_t;
+
+/// One compute/storage node of the simulated cluster: an id plus its disk.
+/// Compute is real (the executors run real threads "on" nodes); only the
+/// I/O devices are simulated.
+class Node {
+ public:
+  Node(NodeId id, DiskOptions disk_options)
+      : id_(id), disk_(std::make_unique<Disk>(disk_options)) {}
+  LH_DISALLOW_COPY_AND_ASSIGN(Node);
+
+  NodeId id() const { return id_; }
+  Disk& disk() { return *disk_; }
+  const Disk& disk() const { return *disk_; }
+
+ private:
+  NodeId id_;
+  std::unique_ptr<Disk> disk_;
+};
+
+/// Cluster-wide simulation parameters.
+struct ClusterOptions {
+  uint32_t num_nodes = 8;
+  DiskOptions disk;
+  NetworkOptions network;
+
+  /// Default options with a given node count (counting mode — no timing).
+  static ClusterOptions ForNodes(uint32_t n) {
+    ClusterOptions options;
+    options.num_nodes = n;
+    return options;
+  }
+
+  /// Convenience: flip timing simulation on/off for every device at once.
+  ClusterOptions& EnableTiming(bool enabled, double time_scale = 1.0) {
+    disk.timing_enabled = enabled;
+    disk.time_scale = time_scale;
+    network.timing_enabled = enabled;
+    network.time_scale = time_scale;
+    return *this;
+  }
+};
+
+/// The simulated cluster substituting for the paper's 128-node testbed.
+/// Storage-layer code asks the cluster to charge device costs: a read of a
+/// record in partition P placed on node N, issued from node M, costs one
+/// random read on N's disk plus a network hop when M != N.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  LH_DISALLOW_COPY_AND_ASSIGN(Cluster);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  Node& node(NodeId id) {
+    LH_CHECK(id < nodes_.size());
+    return *nodes_[id];
+  }
+  Network& network() { return *network_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Charge one random record read of `bytes` stored on `storage_node`,
+  /// issued by code running on `compute_node`.
+  Status ChargeRandomRead(NodeId compute_node, NodeId storage_node,
+                          size_t bytes);
+
+  /// Charge a sequential scan of `bytes` on `storage_node` (plus transfer
+  /// when remote).
+  Status ChargeSequentialRead(NodeId compute_node, NodeId storage_node,
+                              size_t bytes);
+
+  /// Charge a write of `bytes` on `storage_node` (structure maintenance).
+  Status ChargeWrite(NodeId compute_node, NodeId storage_node, size_t bytes);
+
+  /// Charge a pure control message between two nodes (task shipping,
+  /// broadcast fan-out).
+  Status ChargeMessage(NodeId from, NodeId to, size_t bytes);
+
+  /// Sum of all device counters (disks + network).
+  ResourceTotals TotalStats() const;
+
+  /// Reset every device counter.
+  void ResetStats();
+
+  /// Toggle timing simulation on every device at runtime. Loading and
+  /// structure builds typically run untimed; only measured query phases
+  /// pay simulated latencies.
+  void SetTimingEnabled(bool enabled);
+
+ private:
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace lakeharbor::sim

@@ -1,0 +1,96 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lakeharbor::sim {
+
+Disk::Disk(DiskOptions options)
+    : options_(options), slots_(options.io_slots == 0 ? 1 : options.io_slots) {}
+
+Status Disk::MaybeFault() {
+  uint64_t every = fault_every_.load(std::memory_order_relaxed);
+  if (every != 0) {
+    uint64_t op = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (op % every == 0) {
+      stats_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError("injected transient disk fault");
+    }
+    return Status::OK();
+  }
+  if (!fault_armed_.load(std::memory_order_relaxed)) return Status::OK();
+  if (ops_until_fault_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    stats_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected disk fault");
+  }
+  return Status::OK();
+}
+
+void Disk::SleepUs(double us) const {
+  if (!options_.timing_enabled) return;
+  double scaled = us * options_.time_scale;
+  if (scaled < 1.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(scaled)));
+}
+
+Status Disk::RandomRead(size_t bytes) {
+  LH_RETURN_NOT_OK(MaybeFault());
+  if (options_.timing_enabled) {
+    SemaphoreGuard guard(slots_);
+    SleepUs(static_cast<double>(options_.random_read_latency_us));
+  }
+  stats_.random_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_random.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Disk::SequentialRead(size_t bytes) {
+  LH_RETURN_NOT_OK(MaybeFault());
+  size_t remaining = bytes;
+  const double us_per_byte =
+      1e6 / static_cast<double>(options_.scan_bandwidth_bytes_per_sec);
+  while (remaining > 0) {
+    size_t chunk = std::min(remaining, options_.scan_chunk_bytes);
+    if (options_.timing_enabled) {
+      // Hold the scan lock for the duration of the chunk so that concurrent
+      // scans on one device interleave at chunk granularity.
+      std::lock_guard<std::mutex> lock(scan_mutex_);
+      SleepUs(static_cast<double>(chunk) * us_per_byte);
+    }
+    stats_.sequential_chunks.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_sequential.fetch_add(chunk, std::memory_order_relaxed);
+    remaining -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Disk::Write(size_t bytes) {
+  LH_RETURN_NOT_OK(MaybeFault());
+  if (options_.timing_enabled) {
+    SemaphoreGuard guard(slots_);
+    SleepUs(static_cast<double>(options_.random_read_latency_us));
+  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Disk::InjectFaultAfter(uint64_t n) {
+  ops_until_fault_.store(static_cast<int64_t>(n), std::memory_order_relaxed);
+  fault_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Disk::InjectFaultEvery(uint64_t n) {
+  LH_CHECK_MSG(n >= 2, "InjectFaultEvery needs n >= 2");
+  op_counter_.store(0, std::memory_order_relaxed);
+  fault_every_.store(n, std::memory_order_relaxed);
+}
+
+void Disk::ClearFault() {
+  fault_armed_.store(false, std::memory_order_relaxed);
+  fault_every_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lakeharbor::sim

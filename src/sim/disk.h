@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "concurrent/semaphore.h"
+#include "sim/resource_stats.h"
+
+namespace lakeharbor::sim {
+
+/// Configuration of a simulated storage device.
+///
+/// The defaults model one node of the paper's testbed: a RAID-6 array of 24
+/// 10K-RPM SAS HDDs with a deep device queue (the paper sets
+/// queue_depth=1008 at the OS level; the *device* can overlap roughly one
+/// I/O per spindle, which is what `io_slots` bounds).
+struct DiskOptions {
+  /// Maximum concurrently-serviced I/Os (spindle-level parallelism).
+  size_t io_slots = 24;
+  /// Service time of one random read once admitted.
+  uint64_t random_read_latency_us = 2000;
+  /// Streaming bandwidth for sequential scans, bytes per second.
+  uint64_t scan_bandwidth_bytes_per_sec = 50ull * 1024 * 1024;
+  /// Granularity at which sequential scans reserve the device.
+  size_t scan_chunk_bytes = 1 * 1024 * 1024;
+  /// When false, no real time elapses; only counters move. Tests use this.
+  bool timing_enabled = false;
+  /// Scale all simulated delays (0.1 = 10x faster than modeled).
+  double time_scale = 1.0;
+};
+
+/// A simulated disk: bounded-concurrency random reads with fixed service
+/// latency, plus bandwidth-modeled sequential scans. Real threads block in
+/// RandomRead/SequentialRead exactly as they would block on a synchronous
+/// pread, so executor-level concurrency behaviour is genuine.
+class Disk {
+ public:
+  explicit Disk(DiskOptions options);
+
+  /// One random record read of `bytes`. Blocks the calling thread for the
+  /// modeled service time (timing mode). Fault injection may fail it.
+  Status RandomRead(size_t bytes);
+
+  /// Stream `bytes` sequentially, reserving the device in chunks so that
+  /// concurrent scanners on the same disk share bandwidth fairly.
+  Status SequentialRead(size_t bytes);
+
+  /// Model an index/file write (structure maintenance cost accounting).
+  Status Write(size_t bytes);
+
+  /// After `n` more successful operations, every operation fails with
+  /// IOError until ClearFault(). n == 0 makes the next operation fail.
+  void InjectFaultAfter(uint64_t n);
+
+  /// Transient-fault mode: deterministically fail every `n`-th operation
+  /// (n >= 2) while the rest succeed — the retryable-error pattern real
+  /// devices and object stores exhibit. Cleared by ClearFault().
+  void InjectFaultEvery(uint64_t n);
+
+  void ClearFault();
+
+  /// Toggle timing simulation at runtime (counters always run). Benches
+  /// load data untimed and enable timing only for the measured phase.
+  void SetTimingEnabled(bool enabled) { options_.timing_enabled = enabled; }
+
+  const ResourceStats& stats() const { return stats_; }
+  ResourceStats& mutable_stats() { return stats_; }
+  const DiskOptions& options() const { return options_; }
+
+ private:
+  Status MaybeFault();
+  void SleepUs(double us) const;
+
+  DiskOptions options_;
+  Semaphore slots_;
+  std::mutex scan_mutex_;  // scans are serialized per device (HDD-like)
+  ResourceStats stats_;
+
+  std::atomic<bool> fault_armed_{false};
+  std::atomic<int64_t> ops_until_fault_{0};
+  std::atomic<uint64_t> fault_every_{0};  // 0 = off
+  std::atomic<uint64_t> op_counter_{0};
+};
+
+}  // namespace lakeharbor::sim

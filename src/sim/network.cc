@@ -1,0 +1,24 @@
+#include "sim/network.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lakeharbor::sim {
+
+Status Network::Transfer(size_t bytes) {
+  if (options_.timing_enabled) {
+    double us = static_cast<double>(options_.message_latency_us) +
+                static_cast<double>(bytes) * 1e6 /
+                    static_cast<double>(options_.bandwidth_bytes_per_sec);
+    us *= options_.time_scale;
+    if (us >= 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(us)));
+    }
+  }
+  stats_.network_messages.fetch_add(1, std::memory_order_relaxed);
+  stats_.network_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::sim

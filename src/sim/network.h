@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/resource_stats.h"
+
+namespace lakeharbor::sim {
+
+/// Configuration of the simulated interconnect (the paper: 10 Gbps switch).
+struct NetworkOptions {
+  /// One-way message latency.
+  uint64_t message_latency_us = 50;
+  /// Link bandwidth, bytes per second (default 10 Gbps).
+  uint64_t bandwidth_bytes_per_sec = 1250ull * 1024 * 1024;
+  bool timing_enabled = false;
+  double time_scale = 1.0;
+};
+
+/// A simple full-bisection network model: every cross-node record transfer
+/// pays per-message latency plus size/bandwidth. Latency dominates for the
+/// small record-sized messages ReDe sends, which matches the fine-grained
+/// access pattern the paper targets.
+class Network {
+ public:
+  explicit Network(NetworkOptions options) : options_(options) {}
+
+  /// Model moving `bytes` between two distinct nodes.
+  Status Transfer(size_t bytes);
+
+  const ResourceStats& stats() const { return stats_; }
+  ResourceStats& mutable_stats() { return stats_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Toggle timing simulation at runtime (counters always run).
+  void SetTimingEnabled(bool enabled) { options_.timing_enabled = enabled; }
+
+ private:
+  NetworkOptions options_;
+  ResourceStats stats_;
+};
+
+}  // namespace lakeharbor::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lakeharbor::sim {
+
+/// Device-level operation counters, maintained regardless of whether timing
+/// simulation is enabled, so tests and the Fig-9 harness can make exact,
+/// deterministic assertions about I/O behaviour.
+struct ResourceStats {
+  std::atomic<uint64_t> random_reads{0};
+  std::atomic<uint64_t> sequential_chunks{0};
+  std::atomic<uint64_t> bytes_random{0};
+  std::atomic<uint64_t> bytes_sequential{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> network_messages{0};
+  std::atomic<uint64_t> network_bytes{0};
+  std::atomic<uint64_t> injected_faults{0};
+
+  void Reset() {
+    random_reads = 0;
+    sequential_chunks = 0;
+    bytes_random = 0;
+    bytes_sequential = 0;
+    writes = 0;
+    bytes_written = 0;
+    network_messages = 0;
+    network_bytes = 0;
+    injected_faults = 0;
+  }
+
+};
+
+/// Plain copyable aggregate of ResourceStats (what Cluster::TotalStats
+/// returns).
+struct ResourceTotals {
+  uint64_t random_reads = 0;
+  uint64_t sequential_chunks = 0;
+  uint64_t bytes_random = 0;
+  uint64_t bytes_sequential = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_written = 0;
+  uint64_t network_messages = 0;
+  uint64_t network_bytes = 0;
+  uint64_t injected_faults = 0;
+
+  void Merge(const ResourceStats& other) {
+    random_reads += other.random_reads.load();
+    sequential_chunks += other.sequential_chunks.load();
+    bytes_random += other.bytes_random.load();
+    bytes_sequential += other.bytes_sequential.load();
+    writes += other.writes.load();
+    bytes_written += other.bytes_written.load();
+    network_messages += other.network_messages.load();
+    network_bytes += other.network_bytes.load();
+    injected_faults += other.injected_faults.load();
+  }
+};
+
+}  // namespace lakeharbor::sim

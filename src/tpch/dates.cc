@@ -1,0 +1,59 @@
+#include "tpch/dates.h"
+
+#include "common/string_util.h"
+
+namespace lakeharbor::tpch {
+
+namespace {
+
+/// Howard Hinnant's civil-date algorithms (public domain).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+const int64_t kEpochDay = DaysFromCivil(1992, 1, 1);
+
+}  // namespace
+
+std::string DayToDate(int day_offset) {
+  int y;
+  unsigned m, d;
+  CivilFromDays(kEpochDay + day_offset, &y, &m, &d);
+  return StrFormat("%04d-%02u-%02u", y, m, d);
+}
+
+StatusOr<int> DateToDay(const std::string& date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') {
+    return Status::InvalidArgument("bad date: " + date);
+  }
+  LH_ASSIGN_OR_RETURN(int64_t y, ParseInt64(std::string_view(date).substr(0, 4)));
+  LH_ASSIGN_OR_RETURN(int64_t m, ParseInt64(std::string_view(date).substr(5, 2)));
+  LH_ASSIGN_OR_RETURN(int64_t d, ParseInt64(std::string_view(date).substr(8, 2)));
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date: " + date);
+  }
+  return static_cast<int>(DaysFromCivil(static_cast<int>(y),
+                                        static_cast<unsigned>(m),
+                                        static_cast<unsigned>(d)) -
+                          kEpochDay);
+}
+
+}  // namespace lakeharbor::tpch

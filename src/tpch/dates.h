@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+
+/// \file dates.h
+/// Gregorian-calendar helpers for TPC-H order dates. TPC-H populates
+/// o_orderdate uniformly in [1992-01-01, 1998-08-02]; Fig 7's selectivity
+/// knob is the width of a date-range predicate over that interval.
+
+namespace lakeharbor::tpch {
+
+/// First and last valid order dates (inclusive), as day offsets from
+/// 1992-01-01.
+inline constexpr int kMinOrderDay = 0;
+inline constexpr int kMaxOrderDay = 2405;  // 1998-08-02
+
+/// Convert a day offset from 1992-01-01 to "YYYY-MM-DD".
+std::string DayToDate(int day_offset);
+
+/// Inverse of DayToDate.
+StatusOr<int> DateToDay(const std::string& date);
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,133 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "tpch/dates.h"
+#include "tpch/schema.h"
+
+namespace lakeharbor::tpch {
+
+const char* const kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+namespace {
+
+const char* const kNationNames[kNumNations] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+/// Region of each nation, following the TPC-H mapping.
+const int kNationRegion[kNumNations] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                        4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "HOUSEHOLD", "MACHINERY"};
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECIFIED", "5-LOW"};
+const char* const kBrands[5] = {"Brand#11", "Brand#22", "Brand#33", "Brand#44",
+                                "Brand#55"};
+const char* const kTypes[6] = {"STANDARD ANODIZED", "SMALL PLATED",
+                               "MEDIUM POLISHED", "LARGE BRUSHED",
+                               "ECONOMY BURNISHED", "PROMO TIN"};
+const char* const kContainers[4] = {"SM CASE", "MED BOX", "LG DRUM",
+                                    "JUMBO PKG"};
+
+}  // namespace
+
+TpchData Generate(const TpchConfig& config) {
+  TpchData data;
+  data.config = config;
+  Random rng(config.seed);
+
+  for (int r = 0; r < 5; ++r) {
+    data.region.push_back(
+        StrFormat("%d|%s|region comment %d", r, kRegionNames[r], r));
+  }
+  for (int n = 0; n < kNumNations; ++n) {
+    data.nation.push_back(StrFormat("%d|%s|%d|nation comment %d", n,
+                                    kNationNames[n], kNationRegion[n], n));
+  }
+
+  const uint64_t num_suppliers = config.num_suppliers();
+  data.supplier.reserve(num_suppliers);
+  for (uint64_t s = 1; s <= num_suppliers; ++s) {
+    int nation = static_cast<int>(rng.Uniform(kNumNations));
+    data.supplier.push_back(StrFormat(
+        "%llu|Supplier#%09llu|addr-%s|%d|%02d-%03llu-%03llu|%.2f",
+        static_cast<unsigned long long>(s),
+        static_cast<unsigned long long>(s), rng.NextString(8).c_str(), nation,
+        nation + 10, static_cast<unsigned long long>(rng.Uniform(1000)),
+        static_cast<unsigned long long>(rng.Uniform(1000)),
+        rng.NextDouble() * 9999.99));
+  }
+
+  const uint64_t num_customers = config.num_customers();
+  data.customer.reserve(num_customers);
+  for (uint64_t c = 1; c <= num_customers; ++c) {
+    int nation = static_cast<int>(rng.Uniform(kNumNations));
+    data.customer.push_back(StrFormat(
+        "%llu|Customer#%09llu|addr-%s|%d|%02d-%03llu-%03llu|%.2f|%s",
+        static_cast<unsigned long long>(c),
+        static_cast<unsigned long long>(c), rng.NextString(10).c_str(),
+        nation, nation + 10,
+        static_cast<unsigned long long>(rng.Uniform(1000)),
+        static_cast<unsigned long long>(rng.Uniform(1000)),
+        rng.NextDouble() * 9999.99, kSegments[rng.Uniform(5)]));
+  }
+
+  const uint64_t num_parts = config.num_parts();
+  data.part.reserve(num_parts);
+  for (uint64_t p = 1; p <= num_parts; ++p) {
+    data.part.push_back(StrFormat(
+        "%llu|part-%s|%s|%s|%llu|%s|%.2f",
+        static_cast<unsigned long long>(p), rng.NextString(12).c_str(),
+        kBrands[rng.Uniform(5)], kTypes[rng.Uniform(6)],
+        static_cast<unsigned long long>(1 + rng.Uniform(50)),
+        kContainers[rng.Uniform(4)],
+        // p_retailprice per spec: 900 + partkey/10 mod 1000 + cents
+        900.0 + static_cast<double>(p % 10000) / 10.0));
+  }
+
+  const uint64_t num_orders = config.num_orders();
+  data.orders.reserve(num_orders);
+  data.lineitem.reserve(num_orders * 4);
+  for (uint64_t o = 1; o <= num_orders; ++o) {
+    uint64_t cust = 1 + rng.Uniform(num_customers);
+    int day = static_cast<int>(rng.Uniform(kMaxOrderDay + 1));
+    std::string date = DayToDate(day);
+    double total_price = 0.0;
+    uint64_t num_lines = 1 + rng.Uniform(7);
+    for (uint64_t l = 1; l <= num_lines; ++l) {
+      uint64_t partkey = 1 + rng.Uniform(num_parts);
+      uint64_t suppkey = 1 + rng.Uniform(num_suppliers);
+      uint64_t quantity = 1 + rng.Uniform(50);
+      double price = static_cast<double>(quantity) *
+                     (900.0 + static_cast<double>(partkey % 10000) / 10.0);
+      total_price += price;
+      int ship_day = std::min<int>(kMaxOrderDay, day + 1 +
+                                   static_cast<int>(rng.Uniform(121)));
+      data.lineitem.push_back(StrFormat(
+          "%llu|%llu|%llu|%llu|%llu|%.2f|%.2f|%.2f|%s",
+          static_cast<unsigned long long>(o),
+          static_cast<unsigned long long>(partkey),
+          static_cast<unsigned long long>(suppkey),
+          static_cast<unsigned long long>(l),
+          static_cast<unsigned long long>(quantity), price,
+          rng.NextDouble() * 0.1, rng.NextDouble() * 0.08,
+          DayToDate(ship_day).c_str()));
+    }
+    data.orders.push_back(StrFormat(
+        "%llu|%llu|%c|%.2f|%s|%s|Clerk#%09llu",
+        static_cast<unsigned long long>(o),
+        static_cast<unsigned long long>(cust), "OFP"[rng.Uniform(3)],
+        total_price, date.c_str(), kPriorities[rng.Uniform(5)],
+        static_cast<unsigned long long>(1 + rng.Uniform(1000))));
+  }
+  return data;
+}
+
+}  // namespace lakeharbor::tpch

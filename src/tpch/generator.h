@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file generator.h
+/// Deterministic dbgen-like TPC-H generator. Substitutes for the paper's
+/// SF=128K dataset: table cardinalities follow the TPC-H ratios, scaled to
+/// laptop size; dates, keys, and prices follow the spec's distributions
+/// closely enough that Q5'-style selectivity math holds exactly.
+
+namespace lakeharbor::tpch {
+
+struct TpchConfig {
+  /// TPC-H scale factor. SF=1 would give 150k customers / 1.5M orders;
+  /// benches default to a small fraction.
+  double scale_factor = 0.01;
+  uint64_t seed = 20240611;
+
+  uint64_t num_customers() const {
+    return Scaled(150000);
+  }
+  uint64_t num_orders() const { return num_customers() * 10; }
+  uint64_t num_suppliers() const { return Scaled(10000); }
+  uint64_t num_parts() const { return Scaled(20000); }
+
+ private:
+  uint64_t Scaled(uint64_t base) const {
+    uint64_t n = static_cast<uint64_t>(static_cast<double>(base) *
+                                       scale_factor);
+    return n == 0 ? 1 : n;
+  }
+};
+
+/// The generated dataset, one '|'-delimited text row per record. Kept in
+/// memory both for loading into the lake and as ground truth for the
+/// in-memory query oracles used in tests.
+struct TpchData {
+  TpchConfig config;
+  std::vector<std::string> region;
+  std::vector<std::string> nation;
+  std::vector<std::string> supplier;
+  std::vector<std::string> customer;
+  std::vector<std::string> part;
+  std::vector<std::string> orders;
+  std::vector<std::string> lineitem;
+
+  uint64_t total_rows() const {
+    return region.size() + nation.size() + supplier.size() + customer.size() +
+           part.size() + orders.size() + lineitem.size();
+  }
+};
+
+/// Generate the dataset for `config`. Deterministic in (scale_factor, seed).
+TpchData Generate(const TpchConfig& config);
+
+/// The five TPC-H region names, indexed by r_regionkey.
+extern const char* const kRegionNames[5];
+
+/// Number of nations (25, as in the spec).
+inline constexpr int kNumNations = 25;
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,207 @@
+#include "tpch/loader.h"
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "io/key_codec.h"
+#include "tpch/schema.h"
+
+namespace lakeharbor::tpch {
+
+namespace {
+
+/// Extract delimited field `field` of a row and return it int64-encoded.
+StatusOr<std::string> EncodedIntField(std::string_view row, size_t field) {
+  LH_ASSIGN_OR_RETURN(int64_t v, ParseInt64(FieldAt(row, kDelim, field)));
+  return io::EncodeInt64Key(v);
+}
+
+/// Load rows into a new file keyed and partitioned by an integer field.
+template <typename FileT>
+StatusOr<std::shared_ptr<FileT>> LoadTable(
+    rede::Engine& engine, const char* name,
+    const std::vector<std::string>& rows, size_t key_field,
+    uint32_t partitions, size_t fanout,
+    size_t secondary_key_field = SIZE_MAX) {
+  auto file = std::make_shared<FileT>(
+      name, std::make_shared<io::HashPartitioner>(partitions),
+      &engine.cluster(), fanout);
+  for (const std::string& row : rows) {
+    LH_ASSIGN_OR_RETURN(std::string key, EncodedIntField(row, key_field));
+    std::string in_key = key;
+    if (secondary_key_field != SIZE_MAX) {
+      LH_ASSIGN_OR_RETURN(std::string second,
+                          EncodedIntField(row, secondary_key_field));
+      in_key = io::ComposeKey(key, second);
+    }
+    LH_RETURN_NOT_OK(
+        file->Append(key, std::move(in_key), io::Record(std::string(row))));
+  }
+  file->Seal();
+  LH_RETURN_NOT_OK(engine.catalog().Register(file));
+  return file;
+}
+
+/// Posting extractor: index key = raw text field `index_field` (already
+/// ordered, e.g. a date); target = (encoded int `target_field`, same).
+index::PostingExtractor TextKeyExtractor(size_t index_field,
+                                         size_t target_field) {
+  return [index_field, target_field](const io::Record& record,
+                                     std::vector<index::Posting>* out) {
+    std::string_view row = record.slice().view();
+    index::Posting posting;
+    posting.index_key = std::string(FieldAt(row, kDelim, index_field));
+    LH_ASSIGN_OR_RETURN(posting.target_partition_key,
+                        EncodedIntField(row, target_field));
+    posting.target_key = posting.target_partition_key;
+    out->push_back(std::move(posting));
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+Status LoadIntoLake(rede::Engine& engine, const TpchData& data,
+                    LoadOptions options) {
+  uint32_t partitions = options.partitions == 0
+                            ? engine.cluster().num_nodes()
+                            : options.partitions;
+  const size_t fanout = options.btree_fanout;
+
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kRegion, data.region,
+                       region::kRegionKey, partitions, fanout)
+                       .status());
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kNation, data.nation,
+                       nation::kNationKey, partitions, fanout)
+                       .status());
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kSupplier, data.supplier,
+                       supplier::kSuppKey, partitions, fanout)
+                       .status());
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kCustomer, data.customer,
+                       customer::kCustKey, partitions, fanout)
+                       .status());
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kPart, data.part, part::kPartKey,
+                       partitions, fanout)
+                       .status());
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kOrders, data.orders,
+                       orders::kOrderKey, partitions, fanout)
+                       .status());
+  // Lineitem: partitioned by l_orderkey, primary key (l_orderkey,
+  // l_linenumber).
+  LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
+                       engine, names::kLineitem, data.lineitem,
+                       lineitem::kOrderKey, partitions, fanout,
+                       lineitem::kLineNumber)
+                       .status());
+
+  // Local secondary B-tree on o_orderdate (entries point at local orders).
+  {
+    index::IndexSpec spec;
+    spec.index_name = names::kOrdersDateIndex;
+    spec.base_file = names::kOrders;
+    spec.placement = index::IndexPlacement::kLocal;
+    spec.btree_fanout = fanout;
+    spec.extract = TextKeyExtractor(orders::kOrderDate, orders::kOrderKey);
+    LH_RETURN_NOT_OK(engine.BuildStructure(spec, "o_orderdate").status());
+  }
+  // Global index on l_orderkey: entry key = encoded l_orderkey, target =
+  // (l_orderkey partition key, composite (l_orderkey, l_linenumber) pk).
+  {
+    index::IndexSpec spec;
+    spec.index_name = names::kLineitemOrderKeyIndex;
+    spec.base_file = names::kLineitem;
+    spec.placement = index::IndexPlacement::kGlobal;
+    spec.btree_fanout = fanout;
+    spec.extract = [](const io::Record& record,
+                      std::vector<index::Posting>* out) {
+      std::string_view row = record.slice().view();
+      index::Posting posting;
+      LH_ASSIGN_OR_RETURN(posting.index_key,
+                          EncodedIntField(row, lineitem::kOrderKey));
+      posting.target_partition_key = posting.index_key;
+      LH_ASSIGN_OR_RETURN(std::string line,
+                          EncodedIntField(row, lineitem::kLineNumber));
+      posting.target_key = io::ComposeKey(posting.index_key, line);
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_RETURN_NOT_OK(engine.BuildStructure(spec, "l_orderkey").status());
+  }
+
+  if (options.build_range_partitioned_date_index) {
+    // Range-partitioned global structure on o_orderdate: boundaries are
+    // quantiles of the actual dates, so a date-range dereference can prune
+    // to the partitions the range intersects.
+    std::vector<std::string> sample;
+    sample.reserve(data.orders.size());
+    for (const std::string& row : data.orders) {
+      sample.emplace_back(FieldAt(row, kDelim, orders::kOrderDate));
+    }
+    index::IndexSpec spec;
+    spec.index_name = names::kOrdersDateRangeIndex;
+    spec.base_file = names::kOrders;
+    spec.placement = index::IndexPlacement::kGlobal;
+    spec.btree_fanout = fanout;
+    spec.partitioner =
+        io::BuildRangePartitionerFromSample(std::move(sample), partitions);
+    spec.extract = TextKeyExtractor(orders::kOrderDate, orders::kOrderKey);
+    LH_RETURN_NOT_OK(
+        engine.BuildStructure(spec, "o_orderdate.range").status());
+  }
+
+  if (options.build_part_join_indexes) {
+    // Local secondary B-tree on p_retailprice (the Fig 3/4 example).
+    index::IndexSpec price;
+    price.index_name = names::kPartRetailPriceIndex;
+    price.base_file = names::kPart;
+    price.placement = index::IndexPlacement::kLocal;
+    price.btree_fanout = fanout;
+    price.extract = [](const io::Record& record,
+                       std::vector<index::Posting>* out) {
+      std::string_view row = record.slice().view();
+      LH_ASSIGN_OR_RETURN(double v,
+                          ParseDouble(FieldAt(row, kDelim,
+                                              part::kRetailPrice)));
+      index::Posting posting;
+      posting.index_key = io::EncodeDoubleKey(v);
+      LH_ASSIGN_OR_RETURN(posting.target_partition_key,
+                          EncodedIntField(row, part::kPartKey));
+      posting.target_key = posting.target_partition_key;
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_RETURN_NOT_OK(engine.BuildStructure(price, "p_retailprice").status());
+
+    // Global index on l_partkey, hash-partitioned by l_partkey.
+    index::IndexSpec partkey;
+    partkey.index_name = names::kLineitemPartKeyIndex;
+    partkey.base_file = names::kLineitem;
+    partkey.placement = index::IndexPlacement::kGlobal;
+    partkey.btree_fanout = fanout;
+    partkey.extract = [](const io::Record& record,
+                         std::vector<index::Posting>* out) {
+      std::string_view row = record.slice().view();
+      index::Posting posting;
+      LH_ASSIGN_OR_RETURN(posting.index_key,
+                          EncodedIntField(row, lineitem::kPartKey));
+      LH_ASSIGN_OR_RETURN(posting.target_partition_key,
+                          EncodedIntField(row, lineitem::kOrderKey));
+      LH_ASSIGN_OR_RETURN(std::string line,
+                          EncodedIntField(row, lineitem::kLineNumber));
+      posting.target_key =
+          io::ComposeKey(posting.target_partition_key, line);
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_RETURN_NOT_OK(engine.BuildStructure(partkey, "l_partkey").status());
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+
+/// \file loader.h
+/// Loads a generated TPC-H dataset into a ReDe engine's lake, replicating
+/// the paper's experimental setup (§III-E):
+///   - base files hash-partitioned by their primary keys (lineitem by
+///     l_orderkey),
+///   - a local secondary B-tree on the date column of orders,
+///   - global indexes on the foreign keys used by the evaluated joins.
+/// Structures are built through the engine's access-method registration
+/// path, so their build cost is charged to the simulated devices.
+
+namespace lakeharbor::tpch {
+
+struct LoadOptions {
+  /// Partitions per base file; defaults to one per simulated node.
+  uint32_t partitions = 0;
+  /// Build the Part/Lineitem(l_partkey) structures used by the Fig 3/4
+  /// example join in addition to the Q5' structures.
+  bool build_part_join_indexes = false;
+  /// Additionally build a *range-partitioned global* structure on
+  /// o_orderdate (boundaries sampled from the data), which range
+  /// dereferences can prune — the contrast to the local secondary index.
+  bool build_range_partitioned_date_index = false;
+  size_t btree_fanout = 64;
+};
+
+/// Load `data` into `engine`'s catalog and build the structures.
+Status LoadIntoLake(rede::Engine& engine, const TpchData& data,
+                    LoadOptions options = {});
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,106 @@
+#include "tpch/part_join.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "io/key_codec.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+#include "tpch/schema.h"
+
+namespace lakeharbor::tpch {
+
+StatusOr<rede::Job> BuildPartLineitemJoinJob(rede::Engine& engine,
+                                             const PartJoinParams& params) {
+  io::Catalog& catalog = engine.catalog();
+  LH_ASSIGN_OR_RETURN(auto part, catalog.Get(names::kPart));
+  LH_ASSIGN_OR_RETURN(auto lineitem, catalog.Get(names::kLineitem));
+  LH_ASSIGN_OR_RETURN(auto price_idx_file,
+                      catalog.Get(names::kPartRetailPriceIndex));
+  LH_ASSIGN_OR_RETURN(auto partkey_idx,
+                      catalog.Get(names::kLineitemPartKeyIndex));
+  auto price_idx = std::dynamic_pointer_cast<io::BtreeFile>(price_idx_file);
+  if (price_idx == nullptr) {
+    return Status::InvalidArgument("p_retailprice index is not a BtreeFile");
+  }
+
+  using namespace rede;  // NOLINT
+  Interpreter partkey_interp =
+      EncodedInt64FieldInterpreter(part::kPartKey, kDelim);
+  StageFunctionPtr partkey_ref =
+      params.broadcast
+          ? MakeBroadcastReferencer("ref2-partkey-bcast", partkey_interp)
+          : MakeKeyReferencer("ref2-partkey", partkey_interp);
+
+  return JobBuilder(params.broadcast ? "part-lineitem-broadcast"
+                                     : "part-lineitem-global")
+      // Dereferencer-0: B-tree range on p_retailprice (Fig 4).
+      .Initial(Tuple::Range(
+          io::Pointer::Broadcast(io::EncodeDoubleKey(params.price_lo)),
+          io::Pointer::Broadcast(io::EncodeDoubleKey(params.price_hi))))
+      .Add(MakeRangeDereferencer("deref0-price-idx", price_idx))
+      // Referencer-1 / Dereferencer-1: entry -> Part record.
+      .Add(MakeIndexEntryReferencer("ref1-part-ptr"))
+      .Add(MakePointDereferencer("deref1-part", part))
+      // Referencer-2 / Dereferencer-2: p_partkey -> l_partkey index.
+      .Add(partkey_ref)
+      .Add(MakePointDereferencer("deref2-lineitem-idx", partkey_idx, nullptr,
+                                 params.index_bloom))
+      // Referencer-3 / Dereferencer-3: entry -> Lineitem record
+      // (cross-partition accesses, as the paper notes).
+      .Add(MakeIndexEntryReferencer("ref3-lineitem-ptr"))
+      .Add(MakePointDereferencer("deref3-lineitem", lineitem))
+      .Build();
+}
+
+std::vector<std::string> PartJoinOracle(const TpchData& data,
+                                        const PartJoinParams& params) {
+  std::vector<std::string> matching_parts;
+  for (const auto& row : data.part) {
+    auto price = ParseDouble(FieldAt(row, kDelim, part::kRetailPrice));
+    LH_CHECK(price.ok());
+    if (*price >= params.price_lo && *price <= params.price_hi) {
+      matching_parts.emplace_back(FieldAt(row, kDelim, part::kPartKey));
+    }
+  }
+  std::vector<std::string> keys;
+  for (const auto& row : data.lineitem) {
+    std::string_view pk = FieldAt(row, kDelim, lineitem::kPartKey);
+    for (const auto& part_key : matching_parts) {
+      if (pk == part_key) {
+        std::string key(part_key);
+        key.push_back(':');
+        key.append(FieldAt(row, kDelim, lineitem::kOrderKey));
+        key.push_back(':');
+        key.append(FieldAt(row, kDelim, lineitem::kLineNumber));
+        keys.push_back(std::move(key));
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+StatusOr<std::vector<std::string>> SummarizePartJoinOutput(
+    const std::vector<rede::Tuple>& tuples) {
+  std::vector<std::string> keys;
+  keys.reserve(tuples.size());
+  for (const rede::Tuple& tuple : tuples) {
+    if (tuple.records.size() != 2) {
+      return Status::Internal("part-join bundle should be [part, lineitem]");
+    }
+    std::string key(
+        FieldAt(tuple.records[0].slice().view(), kDelim, part::kPartKey));
+    key.push_back(':');
+    key.append(
+        FieldAt(tuple.records[1].slice().view(), kDelim, lineitem::kOrderKey));
+    key.push_back(':');
+    key.append(FieldAt(tuple.records[1].slice().view(), kDelim,
+                       lineitem::kLineNumber));
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace lakeharbor::tpch

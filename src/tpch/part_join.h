@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/bloom.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+
+/// \file part_join.h
+/// The worked example of Fig 3/4: the Part–Lineitem join
+///
+///   SELECT * FROM Part p JOIN Lineitem l ON p.p_partkey = l.l_partkey
+///   WHERE p.p_retailprice BETWEEN :lo AND :hi
+///
+/// expressed as Referencers and Dereferencers over the local secondary
+/// B-tree on p_retailprice and the global index on l_partkey (load with
+/// LoadOptions::build_part_join_indexes). The join can route the partkey
+/// pointer by the index's hash partitioning (global-index join) or
+/// broadcast it to all partitions (broadcast join) — both are expressible,
+/// as §III-B claims, and must produce identical results.
+
+namespace lakeharbor::tpch {
+
+struct PartJoinParams {
+  double price_lo = 900.0;
+  double price_hi = 910.0;
+  /// Broadcast the l_partkey pointer instead of routing it by hash.
+  bool broadcast = false;
+  /// Optional membership structure over the l_partkey index partitions:
+  /// broadcast resolution skips partitions the filter rules out, cutting
+  /// the probe blow-up broadcast joins otherwise pay.
+  std::shared_ptr<const index::PartitionBloom> index_bloom;
+};
+
+/// Output bundles are [part, lineitem].
+StatusOr<rede::Job> BuildPartLineitemJoinJob(rede::Engine& engine,
+                                             const PartJoinParams& params);
+
+/// In-memory oracle: sorted "p_partkey:l_orderkey:l_linenumber" keys.
+std::vector<std::string> PartJoinOracle(const TpchData& data,
+                                        const PartJoinParams& params);
+
+/// Canonicalize engine output the same way.
+StatusOr<std::vector<std::string>> SummarizePartJoinOutput(
+    const std::vector<rede::Tuple>& tuples);
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,288 @@
+#include "tpch/q5.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+#include "tpch/dates.h"
+#include "tpch/schema.h"
+
+namespace lakeharbor::tpch {
+
+namespace {
+
+std::string_view Field(const io::Record& record, size_t field) {
+  return FieldAt(record.slice().view(), kDelim, field);
+}
+
+std::string_view Field(const std::string& row, size_t field) {
+  return FieldAt(row, kDelim, field);
+}
+
+rede::Interpreter RawFieldInterp(size_t field) {
+  return rede::DelimitedFieldInterpreter(field, kDelim);
+}
+
+rede::Interpreter IntKeyInterp(size_t field) {
+  return rede::EncodedInt64FieldInterpreter(field, kDelim);
+}
+
+}  // namespace
+
+Q5Params MakeQ5Params(double selectivity, std::string region_name) {
+  Q5Params params;
+  params.region_name = std::move(region_name);
+  int total_days = kMaxOrderDay - kMinOrderDay + 1;
+  int width = static_cast<int>(selectivity * total_days + 0.5);
+  if (width < 1) width = 1;
+  if (width > total_days) width = total_days;
+  params.date_lo = DayToDate(kMinOrderDay);
+  params.date_hi = DayToDate(kMinOrderDay + width - 1);
+  return params;
+}
+
+StatusOr<rede::Job> BuildQ5RedeJob(rede::Engine& engine,
+                                   const Q5Params& params) {
+  io::Catalog& catalog = engine.catalog();
+  LH_ASSIGN_OR_RETURN(auto orders, catalog.Get(names::kOrders));
+  LH_ASSIGN_OR_RETURN(auto customer, catalog.Get(names::kCustomer));
+  LH_ASSIGN_OR_RETURN(auto nation, catalog.Get(names::kNation));
+  LH_ASSIGN_OR_RETURN(auto region, catalog.Get(names::kRegion));
+  LH_ASSIGN_OR_RETURN(auto lineitem, catalog.Get(names::kLineitem));
+  LH_ASSIGN_OR_RETURN(auto supplier, catalog.Get(names::kSupplier));
+  LH_ASSIGN_OR_RETURN(auto date_idx_file, catalog.Get(names::kOrdersDateIndex));
+  LH_ASSIGN_OR_RETURN(auto li_idx_file,
+                      catalog.Get(names::kLineitemOrderKeyIndex));
+  auto date_idx = std::dynamic_pointer_cast<io::BtreeFile>(date_idx_file);
+  if (date_idx == nullptr) {
+    return Status::InvalidArgument("o_orderdate index is not a BtreeFile");
+  }
+
+  using namespace rede;  // NOLINT
+  return JobBuilder("tpch-q5prime")
+      // Stage 0: range dereference of the local secondary date index; the
+      // broadcast range is resolved on every node's local partitions.
+      .Initial(Tuple::Range(io::Pointer::Broadcast(params.date_lo),
+                            io::Pointer::Broadcast(params.date_hi)))
+      .Add(MakeRangeDereferencer("deref0-orders-date-idx", date_idx))
+      // Stage 1-2: entry -> orders record.
+      .Add(MakeIndexEntryReferencer("ref1-orders-ptr"))
+      .Add(MakePointDereferencer("deref1-orders", orders))
+      // Stage 3-4: o_custkey -> customer.
+      .Add(MakeKeyReferencer("ref2-custkey", IntKeyInterp(orders::kCustKey)))
+      .Add(MakePointDereferencer("deref2-customer", customer))
+      // Stage 5-6: c_nationkey -> nation.
+      .Add(MakeKeyReferencer("ref3-nationkey",
+                             IntKeyInterp(customer::kNationKey)))
+      .Add(MakePointDereferencer("deref3-nation", nation))
+      // Stage 7-8: n_regionkey -> region, filtered on r_name.
+      .Add(MakeKeyReferencer("ref4-regionkey",
+                             IntKeyInterp(nation::kRegionKey)))
+      .Add(MakePointDereferencer(
+          "deref4-region", region,
+          LastRecordEqualsFilter(RawFieldInterp(region::kName),
+                                 params.region_name)))
+      // Stage 9-10: o_orderkey -> lineitem global index (entries for every
+      // line of the order).
+      .Add(MakeKeyReferencer("ref5-orderkey", IntKeyInterp(orders::kOrderKey),
+                             q5_bundle::kOrders))
+      .Add(MakePointDereferencer("deref5-lineitem-idx", li_idx_file))
+      // Stage 11-12: entry -> lineitem record (cross-partition fetches).
+      .Add(MakeIndexEntryReferencer("ref6-lineitem-ptr"))
+      .Add(MakePointDereferencer("deref6-lineitem", lineitem))
+      // Stage 13-14: l_suppkey -> supplier, filtered on the cross-record
+      // predicate s_nationkey = c_nationkey.
+      .Add(MakeKeyReferencer("ref7-suppkey",
+                             IntKeyInterp(lineitem::kSuppKey)))
+      .Add(MakePointDereferencer(
+          "deref7-supplier", supplier,
+          BundleEqualityFilter(q5_bundle::kCustomer,
+                               RawFieldInterp(customer::kNationKey),
+                               q5_bundle::kSupplier,
+                               RawFieldInterp(supplier::kNationKey))))
+      .Build();
+}
+
+StatusOr<std::vector<baseline::Row>> RunQ5Baseline(
+    baseline::ScanEngine& engine, io::Catalog& catalog,
+    const Q5Params& params) {
+  using baseline::Row;
+  LH_ASSIGN_OR_RETURN(auto region_file, catalog.Get(names::kRegion));
+  LH_ASSIGN_OR_RETURN(auto nation_file, catalog.Get(names::kNation));
+  LH_ASSIGN_OR_RETURN(auto customer_file, catalog.Get(names::kCustomer));
+  LH_ASSIGN_OR_RETURN(auto orders_file, catalog.Get(names::kOrders));
+  LH_ASSIGN_OR_RETURN(auto lineitem_file, catalog.Get(names::kLineitem));
+  LH_ASSIGN_OR_RETURN(auto supplier_file, catalog.Get(names::kSupplier));
+
+  // Scans with predicate pushdown where the query has single-table
+  // predicates (r_name, o_orderdate).
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> region_rows,
+      engine.Scan(*region_file, baseline::FieldEqualsPredicate(
+                                    region::kName, params.region_name)));
+  LH_ASSIGN_OR_RETURN(std::vector<Row> nation_rows,
+                      engine.Scan(*nation_file, nullptr));
+  // nation JOIN region on n_regionkey = r_regionkey -> [nation, region]
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> nr,
+      engine.HashJoin(std::move(nation_rows),
+                      baseline::FieldKeyOfRow(0, nation::kRegionKey),
+                      std::move(region_rows),
+                      baseline::FieldKeyOfRow(0, region::kRegionKey)));
+  // customer JOIN (n, r) on c_nationkey = n_nationkey -> [c, n, r]
+  LH_ASSIGN_OR_RETURN(std::vector<Row> customer_rows,
+                      engine.Scan(*customer_file, nullptr));
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> cnr,
+      engine.HashJoin(std::move(customer_rows),
+                      baseline::FieldKeyOfRow(0, customer::kNationKey),
+                      std::move(nr),
+                      baseline::FieldKeyOfRow(0, nation::kNationKey)));
+  // orders (date range pushed down) JOIN (c, n, r) -> [o, c, n, r]
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> orders_rows,
+      engine.Scan(*orders_file,
+                  baseline::FieldRangePredicate(orders::kOrderDate,
+                                                params.date_lo,
+                                                params.date_hi)));
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> ocnr,
+      engine.HashJoin(std::move(orders_rows),
+                      baseline::FieldKeyOfRow(0, orders::kCustKey),
+                      std::move(cnr),
+                      baseline::FieldKeyOfRow(0, customer::kCustKey)));
+  // lineitem JOIN (o, c, n, r) -> [l, o, c, n, r]
+  LH_ASSIGN_OR_RETURN(std::vector<Row> lineitem_rows,
+                      engine.Scan(*lineitem_file, nullptr));
+  LH_ASSIGN_OR_RETURN(
+      std::vector<Row> locnr,
+      engine.HashJoin(std::move(lineitem_rows),
+                      baseline::FieldKeyOfRow(0, lineitem::kOrderKey),
+                      std::move(ocnr),
+                      baseline::FieldKeyOfRow(0, orders::kOrderKey)));
+  // ... JOIN supplier on (s_suppkey, s_nationkey) = (l_suppkey, c_nationkey)
+  LH_ASSIGN_OR_RETURN(std::vector<Row> supplier_rows,
+                      engine.Scan(*supplier_file, nullptr));
+  auto probe_key = [](const Row& row) -> StatusOr<std::string> {
+    std::string key(Field(row[0], lineitem::kSuppKey));
+    key.push_back('|');
+    key.append(Field(row[2], customer::kNationKey));
+    return key;
+  };
+  auto build_key = [](const Row& row) -> StatusOr<std::string> {
+    std::string key(Field(row[0], supplier::kSuppKey));
+    key.push_back('|');
+    key.append(Field(row[0], supplier::kNationKey));
+    return key;
+  };
+  return engine.HashJoin(std::move(locnr), probe_key,
+                         std::move(supplier_rows), build_key);
+}
+
+namespace {
+
+std::string RowKey(std::string_view orderkey, std::string_view linenumber) {
+  std::string key(orderkey);
+  key.push_back(':');
+  key.append(linenumber);
+  return key;
+}
+
+}  // namespace
+
+StatusOr<Q5Summary> SummarizeRedeOutput(
+    const std::vector<rede::Tuple>& tuples) {
+  Q5Summary summary;
+  for (const rede::Tuple& tuple : tuples) {
+    if (tuple.records.size() <= q5_bundle::kSupplier) {
+      return Status::Internal("Q5 output bundle too small");
+    }
+    const io::Record& li = tuple.records[q5_bundle::kLineitem];
+    summary.keys.push_back(RowKey(Field(li, lineitem::kOrderKey),
+                                  Field(li, lineitem::kLineNumber)));
+  }
+  summary.rows = summary.keys.size();
+  std::sort(summary.keys.begin(), summary.keys.end());
+  return summary;
+}
+
+StatusOr<Q5Summary> SummarizeBaselineOutput(
+    const std::vector<baseline::Row>& rows) {
+  Q5Summary summary;
+  for (const baseline::Row& row : rows) {
+    if (row.empty()) return Status::Internal("empty baseline Q5 row");
+    const io::Record& li = row[0];
+    summary.keys.push_back(RowKey(Field(li, lineitem::kOrderKey),
+                                  Field(li, lineitem::kLineNumber)));
+  }
+  summary.rows = summary.keys.size();
+  std::sort(summary.keys.begin(), summary.keys.end());
+  return summary;
+}
+
+StatusOr<Q5Summary> Q5Oracle(const TpchData& data, const Q5Params& params) {
+  // region key of the requested name
+  std::string region_key;
+  for (const auto& row : data.region) {
+    if (Field(row, region::kName) == params.region_name) {
+      region_key = std::string(Field(row, region::kRegionKey));
+    }
+  }
+  if (region_key.empty()) {
+    return Status::InvalidArgument("unknown region " + params.region_name);
+  }
+  // nations in the region
+  std::unordered_set<std::string> nations;
+  for (const auto& row : data.nation) {
+    if (Field(row, nation::kRegionKey) == region_key) {
+      nations.insert(std::string(Field(row, nation::kNationKey)));
+    }
+  }
+  // customer -> nation (only region nations)
+  std::unordered_map<std::string, std::string> customer_nation;
+  for (const auto& row : data.customer) {
+    std::string nk(Field(row, customer::kNationKey));
+    if (nations.count(nk)) {
+      customer_nation.emplace(std::string(Field(row, customer::kCustKey)),
+                              std::move(nk));
+    }
+  }
+  // supplier -> nation
+  std::unordered_map<std::string, std::string> supplier_nation;
+  for (const auto& row : data.supplier) {
+    supplier_nation.emplace(std::string(Field(row, supplier::kSuppKey)),
+                            std::string(Field(row, supplier::kNationKey)));
+  }
+  // orders in date range whose customer is in the region: orderkey -> c_nation
+  std::unordered_map<std::string, std::string> order_nation;
+  for (const auto& row : data.orders) {
+    std::string_view date = Field(row, orders::kOrderDate);
+    if (date < std::string_view(params.date_lo) ||
+        date > std::string_view(params.date_hi)) {
+      continue;
+    }
+    auto it = customer_nation.find(std::string(Field(row, orders::kCustKey)));
+    if (it == customer_nation.end()) continue;
+    order_nation.emplace(std::string(Field(row, orders::kOrderKey)),
+                         it->second);
+  }
+  // lineitems of those orders whose supplier shares the customer's nation
+  Q5Summary summary;
+  for (const auto& row : data.lineitem) {
+    auto oit = order_nation.find(std::string(Field(row, lineitem::kOrderKey)));
+    if (oit == order_nation.end()) continue;
+    auto sit =
+        supplier_nation.find(std::string(Field(row, lineitem::kSuppKey)));
+    if (sit == supplier_nation.end() || sit->second != oit->second) continue;
+    summary.keys.push_back(RowKey(Field(row, lineitem::kOrderKey),
+                                  Field(row, lineitem::kLineNumber)));
+  }
+  summary.rows = summary.keys.size();
+  std::sort(summary.keys.begin(), summary.keys.end());
+  return summary;
+}
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/scan_engine.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+
+/// \file q5.h
+/// TPC-H Q5' — the evaluation query of Fig 7: Q5 with sorting and
+/// aggregation removed, i.e. the pure SPJ core
+///
+///   SELECT * FROM region, nation, customer, orders, lineitem, supplier
+///   WHERE r_name = :region AND n_regionkey = r_regionkey
+///     AND c_nationkey = n_nationkey AND o_custkey = c_custkey
+///     AND l_orderkey = o_orderkey AND s_suppkey = l_suppkey
+///     AND s_nationkey = c_nationkey
+///     AND o_orderdate BETWEEN :lo AND :hi        -- the selectivity knob
+///
+/// implemented three ways: as a Reference-Dereference job (for both ReDe
+/// executors), as a scan + grace-hash-join plan on the baseline engine, and
+/// as an in-memory oracle over the generated data (tests only).
+
+namespace lakeharbor::tpch {
+
+struct Q5Params {
+  std::string date_lo;  ///< inclusive "YYYY-MM-DD"
+  std::string date_hi;  ///< inclusive
+  std::string region_name = "ASIA";
+};
+
+/// Derive params whose date predicate covers `selectivity` (0..1] of the
+/// order-date domain, starting at its low end.
+Q5Params MakeQ5Params(double selectivity, std::string region_name = "ASIA");
+
+/// ReDe job: index range scan on o_orderdate, then the pointer-chasing join
+/// chain orders -> customer -> nation -> region(filter) -> lineitem-index ->
+/// lineitem -> supplier(filter s_nationkey = c_nationkey). Output bundles
+/// are [orders, customer, nation, region, lineitem, supplier].
+StatusOr<rede::Job> BuildQ5RedeJob(rede::Engine& engine,
+                                   const Q5Params& params);
+
+/// Bundle positions of the ReDe job's output tuples.
+namespace q5_bundle {
+inline constexpr size_t kOrders = 0;
+inline constexpr size_t kCustomer = 1;
+inline constexpr size_t kNation = 2;
+inline constexpr size_t kRegion = 3;
+inline constexpr size_t kLineitem = 4;
+inline constexpr size_t kSupplier = 5;
+}  // namespace q5_bundle
+
+/// Baseline plan (scan + hash joins). Output rows are
+/// [lineitem, orders, customer, nation, region, supplier].
+StatusOr<std::vector<baseline::Row>> RunQ5Baseline(baseline::ScanEngine& engine,
+                                                   io::Catalog& catalog,
+                                                   const Q5Params& params);
+
+/// Canonical result summary for cross-engine comparison: one string
+/// "o_orderkey:l_linenumber" per output row (sorted) plus the row count.
+struct Q5Summary {
+  std::vector<std::string> keys;  // sorted
+  uint64_t rows = 0;
+
+  bool operator==(const Q5Summary& other) const {
+    return rows == other.rows && keys == other.keys;
+  }
+};
+
+/// Summaries of the three implementations' outputs.
+StatusOr<Q5Summary> SummarizeRedeOutput(const std::vector<rede::Tuple>& tuples);
+StatusOr<Q5Summary> SummarizeBaselineOutput(
+    const std::vector<baseline::Row>& rows);
+
+/// In-memory oracle over generated data (ground truth for tests).
+StatusOr<Q5Summary> Q5Oracle(const TpchData& data, const Q5Params& params);
+
+}  // namespace lakeharbor::tpch

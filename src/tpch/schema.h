@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file schema.h
+/// Field positions of the '|'-delimited TPC-H table encodings. These
+/// constants exist only inside Interpreters/Filters — the engine itself
+/// never sees them (schema-on-read).
+
+namespace lakeharbor::tpch {
+
+inline constexpr char kDelim = '|';
+
+// region: r_regionkey|r_name|r_comment
+namespace region {
+inline constexpr size_t kRegionKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kComment = 2;
+}  // namespace region
+
+// nation: n_nationkey|n_name|n_regionkey|n_comment
+namespace nation {
+inline constexpr size_t kNationKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kRegionKey = 2;
+inline constexpr size_t kComment = 3;
+}  // namespace nation
+
+// supplier: s_suppkey|s_name|s_address|s_nationkey|s_phone|s_acctbal
+namespace supplier {
+inline constexpr size_t kSuppKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kAddress = 2;
+inline constexpr size_t kNationKey = 3;
+inline constexpr size_t kPhone = 4;
+inline constexpr size_t kAcctBal = 5;
+}  // namespace supplier
+
+// customer: c_custkey|c_name|c_address|c_nationkey|c_phone|c_acctbal|c_mktsegment
+namespace customer {
+inline constexpr size_t kCustKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kAddress = 2;
+inline constexpr size_t kNationKey = 3;
+inline constexpr size_t kPhone = 4;
+inline constexpr size_t kAcctBal = 5;
+inline constexpr size_t kMktSegment = 6;
+}  // namespace customer
+
+// part: p_partkey|p_name|p_brand|p_type|p_size|p_container|p_retailprice
+namespace part {
+inline constexpr size_t kPartKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kBrand = 2;
+inline constexpr size_t kType = 3;
+inline constexpr size_t kSize = 4;
+inline constexpr size_t kContainer = 5;
+inline constexpr size_t kRetailPrice = 6;
+}  // namespace part
+
+// orders: o_orderkey|o_custkey|o_orderstatus|o_totalprice|o_orderdate|o_orderpriority|o_clerk
+namespace orders {
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kCustKey = 1;
+inline constexpr size_t kOrderStatus = 2;
+inline constexpr size_t kTotalPrice = 3;
+inline constexpr size_t kOrderDate = 4;
+inline constexpr size_t kOrderPriority = 5;
+inline constexpr size_t kClerk = 6;
+}  // namespace orders
+
+// lineitem: l_orderkey|l_partkey|l_suppkey|l_linenumber|l_quantity|
+//           l_extendedprice|l_discount|l_tax|l_shipdate
+namespace lineitem {
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kPartKey = 1;
+inline constexpr size_t kSuppKey = 2;
+inline constexpr size_t kLineNumber = 3;
+inline constexpr size_t kQuantity = 4;
+inline constexpr size_t kExtendedPrice = 5;
+inline constexpr size_t kDiscount = 6;
+inline constexpr size_t kTax = 7;
+inline constexpr size_t kShipDate = 8;
+}  // namespace lineitem
+
+/// Catalog names of the loaded files and structures.
+namespace names {
+inline constexpr const char* kRegion = "tpch.region";
+inline constexpr const char* kNation = "tpch.nation";
+inline constexpr const char* kSupplier = "tpch.supplier";
+inline constexpr const char* kCustomer = "tpch.customer";
+inline constexpr const char* kPart = "tpch.part";
+inline constexpr const char* kOrders = "tpch.orders";
+inline constexpr const char* kLineitem = "tpch.lineitem";
+inline constexpr const char* kOrdersDateIndex = "tpch.orders.o_orderdate.idx";
+inline constexpr const char* kOrdersDateRangeIndex =
+    "tpch.orders.o_orderdate.ridx";
+inline constexpr const char* kLineitemOrderKeyIndex =
+    "tpch.lineitem.l_orderkey.idx";
+inline constexpr const char* kLineitemPartKeyIndex =
+    "tpch.lineitem.l_partkey.idx";
+inline constexpr const char* kPartRetailPriceIndex =
+    "tpch.part.p_retailprice.idx";
+}  // namespace names
+
+}  // namespace lakeharbor::tpch

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "rede/adaptive.h"
+
+namespace lakeharbor::rede {
+namespace {
+
+struct AdaptiveFixture : ::testing::Test {
+  AdaptiveFixture() {
+    sim::ClusterOptions options;
+    options.num_nodes = 4;
+    options.disk.io_slots = 10;
+    options.disk.random_read_latency_us = 1000;                // 1 ms
+    options.disk.scan_bandwidth_bytes_per_sec = 1000 * 1000;   // 1 MB/s
+    cluster = std::make_unique<sim::Cluster>(options);
+  }
+
+  /// Candidate: 4 MB base, 100k records -> build = 4 MB scan + 4 MB
+  /// postings over 4 nodes at 1 MB/s = 1000 + 1000 = 2000 ms.
+  StructureCostInputs Inputs() {
+    StructureCostInputs inputs;
+    inputs.base_bytes = 4 * 1000 * 1000;
+    inputs.base_records = 100000;
+    inputs.posting_bytes = 40;
+    return inputs;
+  }
+
+  /// Selective query: 100 matches * 2 ios * 1 ms / 40 = 5 ms structure vs
+  /// 4 MB scan / 4 MB-per-s = 1000 ms -> saving 995 ms.
+  AccessObservation SelectiveQuery() {
+    AccessObservation obs;
+    obs.base_file = "orders";
+    obs.attribute = "date";
+    obs.matches = 100;
+    obs.ios_per_match = 2;
+    obs.scan_bytes = 4 * 1000 * 1000;
+    return obs;
+  }
+
+  /// Unselective query: structure plan loses, so it contributes nothing.
+  AccessObservation FullScanQuery() {
+    AccessObservation obs = SelectiveQuery();
+    obs.matches = 1000000;
+    return obs;
+  }
+
+  StructureRecommendation Only(const AdaptiveStructureManager& manager) {
+    auto recs = manager.Recommend();
+    LH_CHECK(recs.size() == 1);
+    return recs[0];
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+};
+
+TEST_F(AdaptiveFixture, NoObservationsMeansKeepUnbuilt) {
+  AdaptiveStructureManager manager(cluster.get());
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  auto rec = Only(manager);
+  EXPECT_EQ(rec.action, StructureRecommendation::Action::kKeep);
+  EXPECT_EQ(rec.observations, 0u);
+  EXPECT_DOUBLE_EQ(rec.window_saving_ms, 0.0);
+  EXPECT_NEAR(rec.build_cost_ms, 2000.0, 1.0);
+}
+
+TEST_F(AdaptiveFixture, SelectiveWorkloadTriggersBuild) {
+  AdaptiveStructureManager manager(cluster.get());
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  // Two selective queries save ~1990 ms < 2000 ms build: not yet.
+  manager.Observe(SelectiveQuery());
+  manager.Observe(SelectiveQuery());
+  EXPECT_EQ(Only(manager).action, StructureRecommendation::Action::kKeep);
+  // A third tips the balance.
+  manager.Observe(SelectiveQuery());
+  auto rec = Only(manager);
+  EXPECT_EQ(rec.action, StructureRecommendation::Action::kBuild);
+  EXPECT_GT(rec.window_saving_ms, rec.build_cost_ms);
+}
+
+TEST_F(AdaptiveFixture, UnselectiveWorkloadNeverBuilds) {
+  AdaptiveStructureManager manager(cluster.get());
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  for (int i = 0; i < 50; ++i) manager.Observe(FullScanQuery());
+  auto rec = Only(manager);
+  EXPECT_EQ(rec.action, StructureRecommendation::Action::kKeep);
+  EXPECT_DOUBLE_EQ(rec.window_saving_ms, 0.0);
+}
+
+TEST_F(AdaptiveFixture, WorkloadShiftRecommendsDrop) {
+  AdaptiveOptions options;
+  options.window = 10;
+  AdaptiveStructureManager manager(cluster.get(), options);
+  manager.DeclareCandidate("orders", "date", Inputs(), true);
+  // Phase 1: selective workload — keep the structure.
+  for (int i = 0; i < 10; ++i) manager.Observe(SelectiveQuery());
+  EXPECT_EQ(Only(manager).action, StructureRecommendation::Action::kKeep);
+  // Phase 2: the workload shifts to unselective queries; once the window
+  // slides past the old phase, the structure stops paying for itself.
+  for (int i = 0; i < 10; ++i) manager.Observe(FullScanQuery());
+  EXPECT_EQ(Only(manager).action, StructureRecommendation::Action::kDrop);
+}
+
+TEST_F(AdaptiveFixture, SlidingWindowBoundsMemoryAndInfluence) {
+  AdaptiveOptions options;
+  options.window = 4;
+  AdaptiveStructureManager manager(cluster.get(), options);
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  for (int i = 0; i < 100; ++i) manager.Observe(SelectiveQuery());
+  auto rec = Only(manager);
+  EXPECT_EQ(rec.observations, 4u);  // only the window counts
+  // 4 * 995 ms saving ~ 3980 > 2000 -> still a build.
+  EXPECT_EQ(rec.action, StructureRecommendation::Action::kBuild);
+}
+
+TEST_F(AdaptiveFixture, UndeclaredAttributesAreIgnored) {
+  AdaptiveStructureManager manager(cluster.get());
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  AccessObservation other = SelectiveQuery();
+  other.attribute = "priority";
+  for (int i = 0; i < 20; ++i) manager.Observe(other);
+  auto rec = Only(manager);
+  EXPECT_EQ(rec.observations, 0u);
+  EXPECT_TRUE(manager.SetBuilt("orders", "priority", true).IsNotFound());
+}
+
+TEST_F(AdaptiveFixture, SetBuiltFlipsTheDecisionSide) {
+  AdaptiveStructureManager manager(cluster.get());
+  manager.DeclareCandidate("orders", "date", Inputs(), false);
+  for (int i = 0; i < 10; ++i) manager.Observe(SelectiveQuery());
+  EXPECT_EQ(Only(manager).action, StructureRecommendation::Action::kBuild);
+  ASSERT_TRUE(manager.SetBuilt("orders", "date", true).ok());
+  EXPECT_EQ(Only(manager).action, StructureRecommendation::Action::kKeep);
+}
+
+}  // namespace
+}  // namespace lakeharbor::rede

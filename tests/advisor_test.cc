@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "io/key_codec.h"
+#include "rede/advisor.h"
+
+namespace lakeharbor::rede {
+namespace {
+
+struct AdvisorFixture : ::testing::Test {
+  AdvisorFixture() {
+    sim::ClusterOptions options;
+    options.num_nodes = 4;
+    options.disk.io_slots = 10;
+    options.disk.random_read_latency_us = 1000;  // 1 ms
+    options.disk.scan_bandwidth_bytes_per_sec = 1000 * 1000;  // 1 MB/s
+    cluster = std::make_unique<sim::Cluster>(options);
+    // 4-partition index with 100 entries per partition, keys 0..99 each,
+    // so a range of width w samples ~w entries and extrapolates to 4w.
+    index = std::make_shared<io::BtreeFile>(
+        "idx", std::make_shared<io::HashPartitioner>(4), cluster.get());
+    for (uint32_t p = 0; p < 4; ++p) {
+      for (int i = 0; i < 100; ++i) {
+        LH_CHECK(index
+                     ->AppendToPartition(p, io::EncodeInt64Key(i),
+                                         io::Record(std::string("e")))
+                     .ok());
+      }
+    }
+    index->Seal();
+  }
+
+  PlanQuery Query(int lo, int hi, double ios, uint64_t scan_bytes) {
+    PlanQuery query;
+    query.driving_index = index;
+    query.range_lo = io::EncodeInt64Key(lo);
+    query.range_hi = io::EncodeInt64Key(hi);
+    query.ios_per_match = ios;
+    query.scan_bytes = scan_bytes;
+    return query;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::shared_ptr<io::BtreeFile> index;
+};
+
+TEST_F(AdvisorFixture, ValidatesInputs) {
+  StructureAdvisor advisor(cluster.get());
+  PlanQuery query = Query(0, 10, 1.0, 1000);
+  query.driving_index = nullptr;
+  EXPECT_TRUE(advisor.Choose(query).status().IsInvalidArgument());
+  query = Query(10, 0, 1.0, 1000);
+  EXPECT_TRUE(advisor.Choose(query).status().IsInvalidArgument());
+}
+
+TEST_F(AdvisorFixture, ExtrapolatesFromOnePartition) {
+  StructureAdvisor advisor(cluster.get());
+  auto estimate = advisor.Choose(Query(0, 9, 1.0, 1));
+  ASSERT_TRUE(estimate.ok());
+  // 10 keys sampled in partition 0, 4 partitions -> 40 estimated matches.
+  EXPECT_DOUBLE_EQ(estimate->estimated_matches, 40.0);
+}
+
+TEST_F(AdvisorFixture, CostModelMatchesDeviceParameters) {
+  StructureAdvisor advisor(cluster.get());
+  // 40 matches * 2 ios * 1 ms / (4 nodes * 10 slots) = 2 ms structure;
+  // 200_000 bytes / (1000 bytes-per-ms * 4 nodes) = 50 ms scan.
+  auto estimate = advisor.Choose(Query(0, 9, 2.0, 200000));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->structure_ms, 2.0);
+  EXPECT_DOUBLE_EQ(estimate->scan_ms, 50.0);
+  EXPECT_EQ(estimate->choice, PlanKind::kStructure);
+}
+
+TEST_F(AdvisorFixture, ChoosesScanWhenMatchesDominate) {
+  StructureAdvisor advisor(cluster.get());
+  // Whole index (400 matches) * 10 ios * 1 ms / 40 = 100 ms structure vs
+  // 40_000 bytes / 4000 bytes-per-ms = 10 ms scan.
+  auto estimate = advisor.Choose(Query(0, 99, 10.0, 40000));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->choice, PlanKind::kScan);
+  EXPECT_GT(estimate->structure_ms, estimate->scan_ms);
+}
+
+TEST_F(AdvisorFixture, OverheadTermShiftsTheCrossover) {
+  StructureAdvisor advisor(cluster.get());
+  PlanQuery query = Query(0, 9, 2.0, 10000);  // scan: 2.5 ms
+  // Without overhead: structure 2 ms -> structure wins.
+  auto base = advisor.Choose(query);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->choice, PlanKind::kStructure);
+  // With 1 ms/I/O overhead: structure 4 ms -> scan wins.
+  query.per_io_overhead_us = 1000.0;
+  auto padded = advisor.Choose(query);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->choice, PlanKind::kScan);
+}
+
+TEST_F(AdvisorFixture, EmptyRangeStronglyPrefersStructure) {
+  StructureAdvisor advisor(cluster.get());
+  auto estimate = advisor.Choose(Query(500, 600, 10.0, 1 << 20));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->estimated_matches, 0.0);
+  EXPECT_EQ(estimate->choice, PlanKind::kStructure);
+}
+
+TEST_F(AdvisorFixture, SamplingProbeIsCharged) {
+  StructureAdvisor advisor(cluster.get());
+  cluster->ResetStats();
+  ASSERT_TRUE(advisor.Choose(Query(0, 9, 1.0, 1)).ok());
+  EXPECT_GE(cluster->TotalStats().random_reads, 1u);
+}
+
+}  // namespace
+}  // namespace lakeharbor::rede

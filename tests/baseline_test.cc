@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baseline/scan_engine.h"
+#include "common/string_util.h"
+#include "io/key_codec.h"
+#include "io/partitioned_file.h"
+
+namespace lakeharbor::baseline {
+namespace {
+
+struct BaselineFixture : ::testing::Test {
+  BaselineFixture()
+      : cluster(sim::ClusterOptions::ForNodes(4)),
+        engine(&cluster, ScanEngineOptions{.workers_per_node = 4}) {}
+
+  std::shared_ptr<io::PartitionedFile> MakeFile(
+      const std::string& name, int rows,
+      const std::function<std::string(int)>& row_fn) {
+    auto file = std::make_shared<io::PartitionedFile>(
+        name, std::make_shared<io::HashPartitioner>(8), &cluster);
+    for (int i = 0; i < rows; ++i) {
+      std::string key = io::EncodeInt64Key(i);
+      LH_CHECK(file->Append(key, key, io::Record(row_fn(i))).ok());
+    }
+    file->Seal();
+    return file;
+  }
+
+  sim::Cluster cluster;
+  ScanEngine engine;
+};
+
+TEST_F(BaselineFixture, ScanReturnsEverything) {
+  auto file = MakeFile("t", 100,
+                       [](int i) { return StrFormat("%d|val%d", i, i); });
+  auto rows = engine.Scan(*file, nullptr);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 100u);
+  EXPECT_EQ(engine.stats().records_scanned.load(), 100u);
+  // A full scan reads every partition sequentially.
+  EXPECT_EQ(file->access_stats().partition_scans.load(),
+            file->num_partitions());
+  EXPECT_GT(cluster.TotalStats().bytes_sequential, 0u);
+}
+
+TEST_F(BaselineFixture, ScanPushesDownPredicate) {
+  auto file = MakeFile("t", 100,
+                       [](int i) { return StrFormat("%d|%d", i, i % 3); });
+  auto rows =
+      engine.Scan(*file, FieldEqualsPredicate(1, "0"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 34u);  // i % 3 == 0 for i in [0,100)
+}
+
+TEST_F(BaselineFixture, ScanPredicateErrorSurfaces) {
+  auto file = MakeFile("t", 10,
+                       [](int i) { return StrFormat("%d|x", i); });
+  auto rows = engine.Scan(*file, [](const io::Record&) -> StatusOr<bool> {
+    return Status::Corruption("boom");
+  });
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsCorruption());
+}
+
+TEST_F(BaselineFixture, ScanDiskFaultSurfaces) {
+  auto file = MakeFile("t", 10,
+                       [](int i) { return StrFormat("%d|x", i); });
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().InjectFaultAfter(0);
+  }
+  auto rows = engine.Scan(*file, nullptr);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsIOError());
+}
+
+TEST_F(BaselineFixture, HashJoinInnerSemantics) {
+  // left: id -> id%4 ; right: dept rows 0..3
+  auto left = MakeFile("l", 40,
+                       [](int i) { return StrFormat("%d|%d", i, i % 4); });
+  auto right = MakeFile("r", 4,
+                        [](int d) { return StrFormat("%d|dept%d", d, d); });
+  auto lrows = engine.Scan(*left, nullptr);
+  auto rrows = engine.Scan(*right, nullptr);
+  ASSERT_TRUE(lrows.ok());
+  ASSERT_TRUE(rrows.ok());
+  auto joined = engine.HashJoin(std::move(*lrows), FieldKeyOfRow(0, 1),
+                                std::move(*rrows), FieldKeyOfRow(0, 0));
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 40u);
+  for (const Row& row : *joined) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(FieldAt(row[0].slice().view(), '|', 1),
+              FieldAt(row[1].slice().view(), '|', 0));
+  }
+}
+
+TEST_F(BaselineFixture, HashJoinDuplicateKeysFanOut) {
+  auto left = MakeFile("l", 6, [](int i) { return StrFormat("%d|k", i); });
+  auto right = MakeFile("r", 3, [](int i) { return StrFormat("%d|k", i); });
+  auto lrows = engine.Scan(*left, nullptr);
+  auto rrows = engine.Scan(*right, nullptr);
+  auto joined = engine.HashJoin(std::move(*lrows), FieldKeyOfRow(0, 1),
+                                std::move(*rrows), FieldKeyOfRow(0, 1));
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 18u);  // 6 x 3 cross on the shared key
+}
+
+TEST_F(BaselineFixture, HashJoinEmptySides) {
+  auto left = MakeFile("l", 5, [](int i) { return StrFormat("%d|a", i); });
+  auto lrows = engine.Scan(*left, nullptr);
+  auto joined = engine.HashJoin(std::move(*lrows), FieldKeyOfRow(0, 1),
+                                {}, FieldKeyOfRow(0, 1));
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+}
+
+TEST_F(BaselineFixture, GraceJoinTriggersOnBigInputsAndMatchesInMemory) {
+  auto left = MakeFile("l", 500, [](int i) {
+    return StrFormat("%d|%d|%s", i, i % 50, std::string(200, 'x').c_str());
+  });
+  auto right = MakeFile("r", 50, [](int d) {
+    return StrFormat("%d|%s", d, std::string(200, 'y').c_str());
+  });
+
+  auto join_with = [&](size_t budget) -> std::multiset<std::string> {
+    ScanEngine e(&cluster, ScanEngineOptions{.workers_per_node = 4,
+                                             .join_memory_budget_bytes =
+                                                 budget});
+    auto lrows = e.Scan(*left, nullptr);
+    auto rrows = e.Scan(*right, nullptr);
+    LH_CHECK(lrows.ok() && rrows.ok());
+    auto joined = e.HashJoin(std::move(*lrows), FieldKeyOfRow(0, 1),
+                             std::move(*rrows), FieldKeyOfRow(0, 0));
+    LH_CHECK(joined.ok());
+    std::multiset<std::string> canon;
+    for (const Row& row : *joined) {
+      canon.insert(row[0].bytes() + "#" + row[1].bytes());
+    }
+    if (budget < 10000) {
+      EXPECT_GE(e.stats().grace_joins.load(), 1u);
+      EXPECT_GT(e.stats().spilled_bytes.load(), 0u);
+    } else {
+      EXPECT_EQ(e.stats().grace_joins.load(), 0u);
+    }
+    return canon;
+  };
+
+  auto grace = join_with(4096);             // tiny budget -> spills
+  auto in_memory = join_with(1 << 30);      // huge budget -> in-memory
+  EXPECT_EQ(grace.size(), 500u);
+  EXPECT_EQ(grace, in_memory);
+}
+
+TEST_F(BaselineFixture, KeyExtractorErrorSurfaces) {
+  auto left = MakeFile("l", 5, [](int i) { return StrFormat("%d|a", i); });
+  auto lrows = engine.Scan(*left, nullptr);
+  auto joined = engine.HashJoin(
+      std::move(*lrows),
+      [](const Row&) -> StatusOr<std::string> {
+        return Status::InvalidArgument("bad key");
+      },
+      {}, FieldKeyOfRow(0, 0));
+  EXPECT_FALSE(joined.ok());
+}
+
+}  // namespace
+}  // namespace lakeharbor::baseline

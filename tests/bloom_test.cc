@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "index/bloom.h"
+#include "io/key_codec.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+#include "rede/engine.h"
+
+namespace lakeharbor::index {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    filter.Add(io::EncodeInt64Key(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MightContain(io::EncodeInt64Key(i))) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateRoughlyAsConfigured) {
+  BloomFilter filter(2000, 0.01);
+  for (int i = 0; i < 2000; ++i) {
+    filter.Add(io::EncodeInt64Key(i));
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MightContain(io::EncodeInt64Key(1000000 + i))) {
+      ++false_positives;
+    }
+  }
+  double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 0.05);  // generous: 5x the configured 1%
+}
+
+TEST(BloomFilter, SizingScalesWithRate) {
+  BloomFilter strict(1000, 0.001);
+  BloomFilter loose(1000, 0.1);
+  EXPECT_GT(strict.num_bits(), loose.num_bits());
+  EXPECT_GT(strict.num_hashes(), loose.num_hashes());
+}
+
+struct PartitionBloomFixture : ::testing::Test {
+  PartitionBloomFixture() : cluster(sim::ClusterOptions::ForNodes(4)) {
+    file = std::make_shared<io::PartitionedFile>(
+        "t", std::make_shared<io::HashPartitioner>(8), &cluster);
+    for (int i = 0; i < 400; ++i) {
+      std::string key = io::EncodeInt64Key(i);
+      LH_CHECK(file->Append(key, key,
+                            io::Record(StrFormat("%d|payload", i)))
+                   .ok());
+    }
+    file->Seal();
+  }
+
+  sim::Cluster cluster;
+  std::shared_ptr<io::PartitionedFile> file;
+};
+
+TEST_F(PartitionBloomFixture, BuildCoversEveryPartitionKey) {
+  auto bloom = PartitionBloom::Build(*file);
+  ASSERT_TRUE(bloom.ok());
+  EXPECT_EQ(bloom->num_partitions(), file->num_partitions());
+  EXPECT_GT(bloom->memory_bytes(), 0u);
+  // No false negatives: every key's true partition says "maybe".
+  for (int i = 0; i < 400; ++i) {
+    std::string key = io::EncodeInt64Key(i);
+    uint32_t p = file->partitioner().PartitionOf(key);
+    EXPECT_TRUE(bloom->MightContain(p, key)) << i;
+  }
+  // Unknown partitions conservatively require a probe.
+  EXPECT_TRUE(bloom->MightContain(999, "anything"));
+}
+
+TEST_F(PartitionBloomFixture, BuildChargesScan) {
+  cluster.ResetStats();
+  ASSERT_TRUE(PartitionBloom::Build(*file).ok());
+  EXPECT_GT(cluster.TotalStats().bytes_sequential, 0u);
+}
+
+TEST_F(PartitionBloomFixture, BroadcastDerefWithBloomSkipsMostProbes) {
+  auto bloom_result = PartitionBloom::Build(*file);
+  ASSERT_TRUE(bloom_result.ok());
+  auto bloom = std::make_shared<const PartitionBloom>(
+      std::move(*bloom_result));
+
+  rede::Engine engine(&cluster);
+  // Broadcast point lookups for keys 0..99, with and without the filter.
+  auto run = [&](std::shared_ptr<const PartitionBloom> filter) {
+    auto deref =
+        rede::MakePointDereferencer("deref", file, nullptr, filter);
+    std::multiset<std::string> results;
+    file->mutable_access_stats().Reset();
+    for (int i = 0; i < 100; ++i) {
+      rede::Tuple tuple =
+          rede::Tuple::Point(io::Pointer::Broadcast(io::EncodeInt64Key(i)));
+      // Unmarked broadcast: the deref consults all partitions itself.
+      std::vector<rede::Tuple> out;
+      rede::ExecContext ctx{0, &cluster, nullptr};
+      LH_CHECK(deref->Execute(ctx, tuple, &out).ok());
+      for (const auto& t : out) results.insert(t.last_record().bytes());
+    }
+    return std::make_tuple(results, file->access_stats().lookups.load(),
+                           file->access_stats().bloom_skips.load());
+  };
+
+  auto [plain_results, plain_lookups, plain_skips] = run(nullptr);
+  auto [bloom_results, bloom_lookups, bloom_skips] = run(bloom);
+
+  EXPECT_EQ(plain_results, bloom_results);  // identical answers
+  EXPECT_EQ(plain_results.size(), 100u);
+  EXPECT_EQ(plain_lookups, 800u);  // 100 keys x 8 partitions
+  EXPECT_EQ(plain_skips, 0u);
+  // With the filter, most of the 7 wrong partitions per key are skipped.
+  EXPECT_LT(bloom_lookups, 200u);
+  EXPECT_GT(bloom_skips, 600u);
+  EXPECT_EQ(bloom_lookups + bloom_skips, 800u);
+}
+
+TEST_F(PartitionBloomFixture, SmpeBroadcastJobEquivalentWithBloom) {
+  auto bloom_result = PartitionBloom::Build(*file);
+  ASSERT_TRUE(bloom_result.ok());
+  auto bloom = std::make_shared<const PartitionBloom>(
+      std::move(*bloom_result));
+  rede::Engine engine(&cluster);
+
+  // A driver file of 50 rows, each broadcasting a lookup into `file`.
+  auto driver = std::make_shared<io::BtreeFile>(
+      "driver", std::make_shared<io::HashPartitioner>(4), &cluster);
+  for (int i = 0; i < 50; ++i) {
+    std::string key = io::EncodeInt64Key(i);
+    ASSERT_TRUE(driver->AppendToPartition(static_cast<uint32_t>(i % 4), key,
+                                          io::Record(StrFormat("%d", i * 8)))
+                    .ok());
+  }
+  driver->Seal();
+
+  auto make_job = [&](std::shared_ptr<const PartitionBloom> filter) {
+    return rede::JobBuilder("bloom-broadcast-join")
+        .Initial(rede::Tuple::Range(
+            io::Pointer::Broadcast(io::EncodeInt64Key(0)),
+            io::Pointer::Broadcast(io::EncodeInt64Key(49))))
+        .Add(rede::MakeRangeDereferencer("deref-driver", driver))
+        .Add(rede::MakeBroadcastReferencer(
+            "ref-target", rede::EncodedInt64FieldInterpreter(0)))
+        .Add(rede::MakePointDereferencer("deref-target", file, nullptr,
+                                         filter))
+        .Build();
+  };
+
+  auto plain_job = make_job(nullptr);
+  auto bloom_job = make_job(bloom);
+  ASSERT_TRUE(plain_job.ok());
+  ASSERT_TRUE(bloom_job.ok());
+  auto plain = engine.ExecuteCollect(*plain_job, rede::ExecutionMode::kSmpe);
+  ASSERT_TRUE(plain.ok());
+  file->mutable_access_stats().Reset();
+  auto filtered =
+      engine.ExecuteCollect(*bloom_job, rede::ExecutionMode::kSmpe);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(plain->tuples.size(), filtered->tuples.size());
+  EXPECT_GT(file->access_stats().bloom_skips.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lakeharbor::index

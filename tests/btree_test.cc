@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "index/btree.h"
+#include "io/key_codec.h"
+
+namespace lakeharbor::index {
+namespace {
+
+TEST(Btree, EmptyTree) {
+  Btree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  std::vector<int> out;
+  tree.Get("k", &out);
+  EXPECT_TRUE(out.empty());
+  int visited = 0;
+  tree.Scan([&](const std::string&, const int&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0);
+  tree.CheckInvariants();
+}
+
+TEST(Btree, InsertAndGet) {
+  Btree<int> tree;
+  tree.Insert("b", 2);
+  tree.Insert("a", 1);
+  tree.Insert("c", 3);
+  std::vector<int> out;
+  tree.Get("b", &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2);
+  out.clear();
+  tree.Get("zzz", &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(Btree, DuplicateKeysAllReturned) {
+  Btree<int> tree(4);  // small fanout: duplicates spill across leaves
+  for (int i = 0; i < 50; ++i) tree.Insert("dup", i);
+  tree.Insert("aaa", -1);
+  tree.Insert("zzz", -2);
+  std::vector<int> out;
+  tree.Get("dup", &out);
+  EXPECT_EQ(out.size(), 50u);
+  tree.CheckInvariants();
+}
+
+TEST(Btree, RangeInclusiveBothEnds) {
+  Btree<int> tree;
+  for (int i = 0; i < 10; ++i) {
+    tree.Insert(StrFormat("k%02d", i), i);
+  }
+  std::vector<int> got;
+  tree.GetRange("k03", "k06", [&](const std::string&, const int& v) {
+    got.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(Btree, RangeEmptyWhenHiBelowLo) {
+  Btree<int> tree;
+  tree.Insert("a", 1);
+  int count = 0;
+  tree.GetRange("z", "a", [&](const std::string&, const int&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Btree, RangeEarlyStop) {
+  Btree<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(StrFormat("k%03d", i), i);
+  int count = 0;
+  tree.GetRange("k000", "k099", [&](const std::string&, const int&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Btree, ScanIsOrdered) {
+  Btree<int> tree(4);
+  Random rng(3);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(StrFormat("%06llu",
+                          static_cast<unsigned long long>(rng.Uniform(1000))),
+                i);
+  }
+  std::string prev;
+  bool first = true;
+  tree.Scan([&](const std::string& k, const int&) {
+    if (!first) {
+      EXPECT_LE(prev, k);
+    }
+    prev = k;
+    first = false;
+    return true;
+  });
+  tree.CheckInvariants();
+}
+
+TEST(Btree, GrowsInHeight) {
+  Btree<int> tree(4);
+  EXPECT_EQ(tree.height(), 1u);
+  for (int i = 0; i < 1000; ++i) tree.Insert(StrFormat("k%04d", i), i);
+  EXPECT_GT(tree.height(), 2u);
+  tree.CheckInvariants();
+}
+
+/// Property test: a Btree with random duplicate-heavy workloads agrees with
+/// std::multimap on point and range queries, across fanouts.
+class BtreeOracleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BtreeOracleTest, AgreesWithMultimap) {
+  const size_t fanout = GetParam();
+  Btree<int> tree(fanout);
+  std::multimap<std::string, int> oracle;
+  Random rng(fanout * 977 + 13);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = io::EncodeInt64Key(
+        static_cast<int64_t>(rng.Uniform(400)) - 200);
+    tree.Insert(key, i);
+    oracle.emplace(key, i);
+  }
+  tree.CheckInvariants();
+  ASSERT_EQ(tree.size(), oracle.size());
+
+  // Point lookups.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string key = io::EncodeInt64Key(
+        static_cast<int64_t>(rng.Uniform(500)) - 250);
+    std::vector<int> got;
+    tree.Get(key, &got);
+    auto [begin, end] = oracle.equal_range(key);
+    std::multiset<int> expect_set, got_set(got.begin(), got.end());
+    for (auto it = begin; it != end; ++it) expect_set.insert(it->second);
+    EXPECT_EQ(got_set, expect_set) << "key=" << key;
+  }
+
+  // Range queries.
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.Uniform(500)) - 250;
+    int64_t b = static_cast<int64_t>(rng.Uniform(500)) - 250;
+    if (a > b) std::swap(a, b);
+    std::string lo = io::EncodeInt64Key(a), hi = io::EncodeInt64Key(b);
+    std::multiset<int> got;
+    tree.GetRange(lo, hi, [&](const std::string&, const int& v) {
+      got.insert(v);
+      return true;
+    });
+    std::multiset<int> expect;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      expect.insert(it->second);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BtreeOracleTest,
+                         ::testing::Values(4, 8, 16, 64, 128));
+
+}  // namespace
+}  // namespace lakeharbor::index

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "claims/fhir.h"
+#include "claims/format.h"
+#include "claims/generator.h"
+#include "claims/loader.h"
+#include "claims/queries.h"
+
+namespace lakeharbor::claims {
+namespace {
+
+Claim SampleClaim() {
+  Claim claim;
+  claim.ir = {42, 7, "DPC"};
+  claim.re = {99, "IN", 63, "F"};
+  claim.total_expense = 12345;
+  claim.treatments = {{"8001", 2, 150}, {"8500", 1, 90}};
+  claim.medicines = {{"5003", 30, 200}, {"7123", 14, 50}};
+  claim.diseases = {{"1005", true}, {"3777", false}};
+  return claim;
+}
+
+// ------------------------------------------------------------------- format
+
+TEST(ClaimsFormat, RoundTrip) {
+  Claim original = SampleClaim();
+  io::Record record(FormatClaim(original));
+  auto parsed = ParseClaim(record);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ir.claim_id, 42);
+  EXPECT_EQ(parsed->ir.hospital_id, 7);
+  EXPECT_EQ(parsed->ir.type, "DPC");
+  EXPECT_EQ(parsed->re.patient_id, 99);
+  EXPECT_EQ(parsed->re.category, "IN");
+  EXPECT_EQ(parsed->re.age, 63);
+  EXPECT_EQ(parsed->re.sex, "F");
+  EXPECT_EQ(parsed->total_expense, 12345);
+  ASSERT_EQ(parsed->treatments.size(), 2u);
+  EXPECT_EQ(parsed->treatments[0].treatment_code, "8001");
+  ASSERT_EQ(parsed->medicines.size(), 2u);
+  EXPECT_EQ(parsed->medicines[1].medicine_code, "7123");
+  ASSERT_EQ(parsed->diseases.size(), 2u);
+  EXPECT_TRUE(parsed->diseases[0].primary);
+  EXPECT_FALSE(parsed->diseases[1].primary);
+}
+
+TEST(ClaimsFormat, NarrowExtractors) {
+  io::Record record(FormatClaim(SampleClaim()));
+  EXPECT_EQ(*ExtractClaimId(record), 42);
+  EXPECT_EQ(*ExtractTotalExpense(record), 12345);
+  std::vector<std::string> diseases, medicines;
+  ASSERT_TRUE(ExtractDiseaseCodes(record, &diseases).ok());
+  EXPECT_EQ(diseases, (std::vector<std::string>{"1005", "3777"}));
+  ASSERT_TRUE(ExtractMedicineCodes(record, &medicines).ok());
+  EXPECT_EQ(medicines, (std::vector<std::string>{"5003", "7123"}));
+}
+
+TEST(ClaimsFormat, RangePredicates) {
+  io::Record record(FormatClaim(SampleClaim()));
+  EXPECT_TRUE(*HasDiseaseInRange(record, "1000", "1019"));
+  EXPECT_FALSE(*HasDiseaseInRange(record, "1100", "1104"));
+  EXPECT_TRUE(*HasMedicineInRange(record, "5000", "5019"));
+  EXPECT_FALSE(*HasMedicineInRange(record, "5200", "5204"));
+}
+
+TEST(ClaimsFormat, RejectsUnknownSubRecord) {
+  io::Record record(std::string("IR,1,2,PW\nRE,1,OUT,5,M\nHO,10\nXX,9\n"));
+  EXPECT_TRUE(ParseClaim(record).status().IsCorruption());
+}
+
+TEST(ClaimsFormat, RejectsMissingMandatorySubRecords) {
+  io::Record record(std::string("SI,8000,1,2\n"));
+  EXPECT_TRUE(ParseClaim(record).status().IsCorruption());
+  EXPECT_TRUE(ExtractClaimId(record).status().IsCorruption());
+  EXPECT_TRUE(ExtractTotalExpense(record).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(ClaimsGenerator, DeterministicAndWellFormed) {
+  ClaimsConfig config;
+  config.num_claims = 500;
+  ClaimsData a = GenerateClaims(config);
+  ClaimsData b = GenerateClaims(config);
+  EXPECT_EQ(a.raw, b.raw);
+  ASSERT_EQ(a.raw.size(), 500u);
+  ASSERT_EQ(a.parsed.size(), 500u);
+  for (size_t i = 0; i < a.raw.size(); ++i) {
+    auto parsed = ParseClaim(io::Record(std::string(a.raw[i])));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->ir.claim_id, a.parsed[i].ir.claim_id);
+    EXPECT_EQ(parsed->total_expense, a.parsed[i].total_expense);
+  }
+}
+
+TEST(ClaimsGenerator, CohortRatesRoughlyRespected) {
+  ClaimsConfig config;
+  config.num_claims = 5000;
+  ClaimsData data = GenerateClaims(config);
+  ClaimsAnswer q1 = ClaimsOracle(data, Q1());
+  // ~ num_claims * rate * treated = 5000 * 0.08 * 0.7 = 280.
+  EXPECT_GT(q1.distinct_claims, 150u);
+  EXPECT_LT(q1.distinct_claims, 450u);
+  ClaimsAnswer q3 = ClaimsOracle(data, Q3());
+  EXPECT_GT(q3.distinct_claims, 20u);
+  EXPECT_LT(q3.distinct_claims, 150u);
+  // Q1 cohort is the largest.
+  EXPECT_GT(q1.distinct_claims, q3.distinct_claims);
+}
+
+// -------------------------------------------------- both deployments agree
+
+struct ClaimsFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    ClaimsConfig config;
+    config.num_claims = 3000;
+    data_ = new ClaimsData(GenerateClaims(config));
+
+    lake_cluster_ = new sim::Cluster(sim::ClusterOptions::ForNodes(4));
+    lake_ = new rede::Engine(lake_cluster_);
+    LH_CHECK(LoadRawClaims(*lake_, *data_).ok());
+
+    wh_cluster_ = new sim::Cluster(sim::ClusterOptions::ForNodes(4));
+    warehouse_ = new rede::Engine(wh_cluster_);
+    LH_CHECK(LoadWarehouseClaims(*warehouse_, *data_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete lake_;
+    delete warehouse_;
+    delete lake_cluster_;
+    delete wh_cluster_;
+    delete data_;
+  }
+
+  static ClaimsData* data_;
+  static sim::Cluster* lake_cluster_;
+  static sim::Cluster* wh_cluster_;
+  static rede::Engine* lake_;
+  static rede::Engine* warehouse_;
+};
+
+ClaimsData* ClaimsFixture::data_ = nullptr;
+sim::Cluster* ClaimsFixture::lake_cluster_ = nullptr;
+sim::Cluster* ClaimsFixture::wh_cluster_ = nullptr;
+rede::Engine* ClaimsFixture::lake_ = nullptr;
+rede::Engine* ClaimsFixture::warehouse_ = nullptr;
+
+TEST_F(ClaimsFixture, LoadersRegisterEverything) {
+  EXPECT_TRUE(lake_->catalog().Contains(names::kRawClaims));
+  EXPECT_TRUE(lake_->catalog().Contains(names::kRawDiseaseIndex));
+  for (const char* name :
+       {names::kWhClaims, names::kWhDiagnosis, names::kWhPrescription,
+        names::kWhTreatment, names::kWhDiseaseIndex,
+        names::kWhPrescriptionClaimIndex}) {
+    EXPECT_TRUE(warehouse_->catalog().Contains(name)) << name;
+  }
+  EXPECT_EQ((*lake_->catalog().Get(names::kRawClaims))->num_records(),
+            data_->raw.size());
+  EXPECT_EQ((*warehouse_->catalog().Get(names::kWhClaims))->num_records(),
+            data_->raw.size());
+}
+
+class ClaimsQueryTest : public ClaimsFixture,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(ClaimsQueryTest, BothDeploymentsMatchOracleInBothModes) {
+  ClaimsQuery query = AllQueries()[static_cast<size_t>(GetParam())];
+  ClaimsAnswer oracle = ClaimsOracle(*data_, query);
+  ASSERT_GT(oracle.distinct_claims, 0u) << query.name;
+
+  auto raw_job = BuildRawClaimsJob(*lake_, query);
+  ASSERT_TRUE(raw_job.ok());
+  auto wh_job = BuildWarehouseClaimsJob(*warehouse_, query);
+  ASSERT_TRUE(wh_job.ok());
+
+  for (auto mode :
+       {rede::ExecutionMode::kSmpe, rede::ExecutionMode::kPartitioned}) {
+    auto raw = lake_->ExecuteCollect(*raw_job, mode);
+    ASSERT_TRUE(raw.ok());
+    auto raw_answer = SummarizeRawOutput(raw->tuples);
+    ASSERT_TRUE(raw_answer.ok());
+    EXPECT_EQ(*raw_answer, oracle) << query.name << " raw/"
+                                   << ExecutionModeToString(mode);
+
+    auto wh = warehouse_->ExecuteCollect(*wh_job, mode);
+    ASSERT_TRUE(wh.ok());
+    auto wh_answer = SummarizeWarehouseOutput(wh->tuples);
+    ASSERT_TRUE(wh_answer.ok());
+    EXPECT_EQ(*wh_answer, oracle) << query.name << " wh/"
+                                  << ExecutionModeToString(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThree, ClaimsQueryTest, ::testing::Values(0, 1, 2));
+
+TEST_F(ClaimsFixture, RedeAccessesSignificantlyFewerRecords) {
+  // The Fig 9 claim: for every query, the normalized warehouse touches
+  // strictly more records than the raw-claims deployment.
+  for (const ClaimsQuery& query : AllQueries()) {
+    lake_->catalog().ResetAccessStats();
+    auto raw_job = BuildRawClaimsJob(*lake_, query);
+    ASSERT_TRUE(raw_job.ok());
+    ASSERT_TRUE(lake_->Execute(*raw_job, rede::ExecutionMode::kSmpe).ok());
+    uint64_t lake_accesses = lake_->catalog().TotalRecordAccesses();
+
+    warehouse_->catalog().ResetAccessStats();
+    auto wh_job = BuildWarehouseClaimsJob(*warehouse_, query);
+    ASSERT_TRUE(wh_job.ok());
+    ASSERT_TRUE(
+        warehouse_->Execute(*wh_job, rede::ExecutionMode::kSmpe).ok());
+    uint64_t wh_accesses = warehouse_->catalog().TotalRecordAccesses();
+
+    EXPECT_LT(lake_accesses, wh_accesses) << query.name;
+    EXPECT_GT(lake_accesses, 0u);
+  }
+}
+
+TEST_F(ClaimsFixture, ScanBaselineMatchesOracleButTouchesEverything) {
+  baseline::ScanEngine scan_engine(lake_cluster_);
+  for (const ClaimsQuery& query : AllQueries()) {
+    lake_->catalog().ResetAccessStats();
+    auto answer =
+        RunClaimsScanBaseline(scan_engine, lake_->catalog(), query);
+    ASSERT_TRUE(answer.ok()) << query.name;
+    EXPECT_EQ(*answer, ClaimsOracle(*data_, query)) << query.name;
+    // The scan touches every claim regardless of selectivity.
+    auto raw = *lake_->catalog().Get(names::kRawClaims);
+    EXPECT_GE(raw->access_stats().records_scanned.load(),
+              data_->raw.size());
+  }
+}
+
+// ----------------------------------------------------------- FHIR (§IV)
+
+TEST(Fhir, BundleEncodesEveryResource) {
+  Claim claim = SampleClaim();
+  Json bundle = ClaimToFhirBundle(claim);
+  EXPECT_EQ(bundle.Find("resourceType")->AsString(), "Bundle");
+  const Json* entries = bundle.Find("entry");
+  ASSERT_NE(entries, nullptr);
+  // Claim + Patient + Encounter + 2 Conditions + 2 MedicationRequests +
+  // 2 Procedures = 9 entries.
+  EXPECT_EQ(entries->AsArray().size(), 9u);
+}
+
+TEST(Fhir, NarrowExtractorsMatchFixedTextExtractors) {
+  Claim claim = SampleClaim();
+  io::Record fhir_record(ClaimToFhirJson(claim));
+  io::Record text_record(FormatClaim(claim));
+
+  EXPECT_EQ(*FhirExtractClaimId(fhir_record), *ExtractClaimId(text_record));
+  EXPECT_EQ(*FhirExtractTotalExpense(fhir_record),
+            *ExtractTotalExpense(text_record));
+  std::vector<std::string> fhir_codes, text_codes;
+  ASSERT_TRUE(FhirExtractConditionCodes(fhir_record, &fhir_codes).ok());
+  ASSERT_TRUE(ExtractDiseaseCodes(text_record, &text_codes).ok());
+  EXPECT_EQ(fhir_codes, text_codes);
+  EXPECT_EQ(*FhirHasMedicationInRange(fhir_record, "5000", "5019"),
+            *HasMedicineInRange(text_record, "5000", "5019"));
+  EXPECT_EQ(*FhirHasMedicationInRange(fhir_record, "5200", "5204"),
+            *HasMedicineInRange(text_record, "5200", "5204"));
+}
+
+TEST(Fhir, RejectsNonBundleDocuments) {
+  io::Record not_bundle(std::string(R"({"resourceType": "Patient"})"));
+  EXPECT_TRUE(FhirExtractClaimId(not_bundle).status().IsCorruption());
+  io::Record not_json(std::string("IR,1,2,PW"));
+  EXPECT_FALSE(FhirExtractClaimId(not_json).ok());
+}
+
+class FhirQueryTest : public ClaimsFixture,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(FhirQueryTest, FhirDeploymentMatchesOracle) {
+  // Re-encode the same claims as FHIR bundles in a fresh lake.
+  static sim::Cluster* fhir_cluster = nullptr;
+  static rede::Engine* fhir_engine = nullptr;
+  if (fhir_engine == nullptr) {
+    fhir_cluster = new sim::Cluster(sim::ClusterOptions::ForNodes(4));
+    fhir_engine = new rede::Engine(fhir_cluster);
+    ASSERT_TRUE(LoadFhirBundles(*fhir_engine, *data_).ok());
+  }
+  ClaimsQuery query = AllQueries()[static_cast<size_t>(GetParam())];
+  ClaimsAnswer oracle = ClaimsOracle(*data_, query);
+
+  auto job = BuildFhirClaimsJob(*fhir_engine, query);
+  ASSERT_TRUE(job.ok());
+  for (auto mode :
+       {rede::ExecutionMode::kSmpe, rede::ExecutionMode::kPartitioned}) {
+    auto result = fhir_engine->ExecuteCollect(*job, mode);
+    ASSERT_TRUE(result.ok());
+    auto answer = SummarizeFhirOutput(result->tuples);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(*answer, oracle)
+        << query.name << " fhir/" << ExecutionModeToString(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThree, FhirQueryTest, ::testing::Values(0, 1, 2));
+
+TEST_F(ClaimsFixture, DiskFaultSurfacesThroughClaimsJob) {
+  auto job = BuildRawClaimsJob(*lake_, Q1());
+  ASSERT_TRUE(job.ok());
+  for (uint32_t n = 0; n < lake_cluster_->num_nodes(); ++n) {
+    lake_cluster_->node(n).disk().InjectFaultAfter(3);
+  }
+  auto result = lake_->ExecuteCollect(*job, rede::ExecutionMode::kSmpe);
+  EXPECT_FALSE(result.ok());
+  for (uint32_t n = 0; n < lake_cluster_->num_nodes(); ++n) {
+    lake_cluster_->node(n).disk().ClearFault();
+  }
+  auto retry = lake_->ExecuteCollect(*job, rede::ExecutionMode::kSmpe);
+  EXPECT_TRUE(retry.ok());
+}
+
+}  // namespace
+}  // namespace lakeharbor::claims

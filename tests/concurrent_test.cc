@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "concurrent/inflight_tracker.h"
+#include "concurrent/mpmc_queue.h"
+#include "concurrent/semaphore.h"
+#include "concurrent/thread_pool.h"
+
+namespace lakeharbor {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueue, PopDrainsAfterClose) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> q;
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, BoundedBlocksProducerUntilSpace) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_FALSE(q.TryPush(2));
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(MpmcQueue, TryPopNonBlocking) {
+  MpmcQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(9);
+  EXPECT_EQ(*q.TryPop(), 9);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  MpmcQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2000;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+}
+
+TEST(Semaphore, PermitsBoundConcurrency) {
+  Semaphore sem(2);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+  sem.Release();
+  sem.Release();
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+TEST(Semaphore, GuardReleases) {
+  Semaphore sem(1);
+  {
+    SemaphoreGuard guard(sem);
+    EXPECT_EQ(sem.available(), 0u);
+  }
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Semaphore, EnforcesMaxParallelismUnderLoad) {
+  Semaphore sem(3);
+  std::atomic<int> active{0}, peak{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      SemaphoreGuard guard(sem);
+      int now = active.fetch_add(1) + 1;
+      int p = peak.load();
+      while (now > p && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      active.fetch_sub(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GE(peak.load(), 2);  // with 16 threads we should saturate
+}
+
+TEST(InflightTracker, AwaitZeroReturnsImmediatelyWhenIdle) {
+  InflightTracker tracker;
+  tracker.AwaitZero();
+  EXPECT_EQ(tracker.count(), 0);
+}
+
+TEST(InflightTracker, TracksNestedSpawns) {
+  InflightTracker tracker;
+  tracker.Add();
+  std::thread t([&] {
+    tracker.Add(3);  // children registered before parent finishes
+    tracker.Done();  // parent
+    for (int i = 0; i < 3; ++i) tracker.Done();
+  });
+  tracker.AwaitZero();
+  EXPECT_EQ(tracker.count(), 0);
+  t.join();
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  InflightTracker inflight;
+  inflight.Add(100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&] {
+      counter.fetch_add(1);
+      inflight.Done();
+    }));
+  }
+  inflight.AwaitZero();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    pool.Shutdown();
+    EXPECT_FALSE(pool.Submit([&] { counter.fetch_add(1000); }));
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(8);
+  std::atomic<int> active{0}, peak{0};
+  InflightTracker inflight;
+  inflight.Add(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = active.fetch_add(1) + 1;
+      int p = peak.load();
+      while (now > p && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      active.fetch_sub(1);
+      inflight.Done();
+    });
+  }
+  inflight.AwaitZero();
+  EXPECT_GE(peak.load(), 4);  // most of the 8 should overlap
+}
+
+}  // namespace
+}  // namespace lakeharbor

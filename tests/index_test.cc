@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "index/index_builder.h"
+#include "index/index_catalog.h"
+#include "index/index_entry.h"
+#include "io/key_codec.h"
+#include "io/partitioned_file.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::index {
+namespace {
+
+TEST(IndexEntry, RoundTrip) {
+  io::Record entry = MakeIndexEntry("pk", "in-key");
+  auto ptr = ParseIndexEntry(entry);
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(ptr->partition_key, "pk");
+  EXPECT_EQ(ptr->key, "in-key");
+  EXPECT_TRUE(ptr->has_partition);
+}
+
+TEST(IndexEntry, RejectsMalformed) {
+  EXPECT_TRUE(ParseIndexEntry(io::Record(std::string("no-separator")))
+                  .status()
+                  .IsCorruption());
+}
+
+/// Fixture: a base file of rows "id|category|payload", id 0..N-1, category
+/// id % 10, hash-partitioned by id.
+struct BuilderFixture : ::testing::Test {
+  static constexpr int kRows = 200;
+
+  BuilderFixture()
+      : cluster(sim::ClusterOptions::ForNodes(4)), builder(&catalog) {
+    base = std::make_shared<io::PartitionedFile>(
+        "base", std::make_shared<io::HashPartitioner>(8), &cluster);
+    for (int i = 0; i < kRows; ++i) {
+      std::string key = io::EncodeInt64Key(i);
+      LH_CHECK(base->Append(key, key,
+                            io::Record(StrFormat("%d|%d|payload", i, i % 10)))
+                   .ok());
+    }
+    base->Seal();
+    LH_CHECK(catalog.Register(base).ok());
+  }
+
+  IndexSpec CategorySpec(IndexPlacement placement) {
+    IndexSpec spec;
+    spec.index_name = "base.category.idx";
+    spec.base_file = "base";
+    spec.placement = placement;
+    spec.extract = [](const io::Record& record,
+                      std::vector<Posting>* out) -> Status {
+      std::string_view row = record.slice().view();
+      Posting posting;
+      posting.index_key = std::string(FieldAt(row, '|', 1));
+      LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
+      posting.target_partition_key = io::EncodeInt64Key(id);
+      posting.target_key = posting.target_partition_key;
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    return spec;
+  }
+
+  sim::Cluster cluster;
+  io::Catalog catalog;
+  IndexBuilder builder;
+  std::shared_ptr<io::PartitionedFile> base;
+};
+
+TEST_F(BuilderFixture, GlobalBuildIndexesEveryRecord) {
+  auto index = builder.Build(CategorySpec(IndexPlacement::kGlobal));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->num_records(), static_cast<uint64_t>(kRows));
+  EXPECT_TRUE(catalog.Contains("base.category.idx"));
+
+  // All 20 entries for category "3" resolve to records with id % 10 == 3.
+  // Global placement: all duplicates of one key live in ONE partition.
+  std::vector<io::Record> entries;
+  uint32_t p = (*index)->partitioner().PartitionOf("3");
+  ASSERT_TRUE(
+      (*index)->GetInPartition((*index)->NodeOfPartition(p), p, "3", &entries)
+          .ok());
+  EXPECT_EQ(entries.size(), 20u);
+  for (const auto& entry : entries) {
+    auto ptr = ParseIndexEntry(entry);
+    ASSERT_TRUE(ptr.ok());
+    std::vector<io::Record> records;
+    ASSERT_TRUE(base->Get(0, *ptr, &records).ok());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(FieldAt(records[0].slice().view(), '|', 1), "3");
+  }
+}
+
+TEST_F(BuilderFixture, LocalBuildMirrorsBasePartitions) {
+  auto index = builder.Build(CategorySpec(IndexPlacement::kLocal));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->num_partitions(), base->num_partitions());
+  // Local placement: entries for category 3 are spread over partitions,
+  // each pointing at a *local* base record.
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < (*index)->num_partitions(); ++p) {
+    std::vector<io::Record> entries;
+    ASSERT_TRUE((*index)
+                    ->GetInPartition((*index)->NodeOfPartition(p), p, "3",
+                                     &entries)
+                    .ok());
+    for (const auto& entry : entries) {
+      auto ptr = ParseIndexEntry(entry);
+      ASSERT_TRUE(ptr.ok());
+      EXPECT_EQ(base->partitioner().PartitionOf(ptr->partition_key), p)
+          << "local index entry points at a non-local record";
+    }
+    total += entries.size();
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST_F(BuilderFixture, BuildChargesScanAndWrites) {
+  cluster.ResetStats();
+  ASSERT_TRUE(builder.Build(CategorySpec(IndexPlacement::kGlobal)).ok());
+  auto totals = cluster.TotalStats();
+  EXPECT_GT(totals.bytes_sequential, 0u);  // base scanned
+  // Entry writes are page-batched, but every entry byte must be charged.
+  EXPECT_GE(totals.writes, 1u);
+  uint64_t expected_bytes = 0;
+  for (int i = 0; i < kRows; ++i) {
+    // entry = target partition key (16) + sep (1) + target key (16),
+    // plus the index key ("0".."9", 1 byte) charged alongside it.
+    expected_bytes += 16 + 1 + 16 + 1;
+  }
+  EXPECT_EQ(totals.bytes_written, expected_bytes);
+}
+
+TEST_F(BuilderFixture, TinyWriteBatchChargesPerPosting) {
+  cluster.ResetStats();
+  IndexSpec spec = CategorySpec(IndexPlacement::kGlobal);
+  spec.write_batch_bytes = 1;  // force a flush per posting
+  ASSERT_TRUE(builder.Build(spec).ok());
+  EXPECT_EQ(cluster.TotalStats().writes, static_cast<uint64_t>(kRows));
+}
+
+TEST_F(BuilderFixture, MissingBaseFileFails) {
+  IndexSpec spec = CategorySpec(IndexPlacement::kGlobal);
+  spec.base_file = "nope";
+  EXPECT_TRUE(builder.Build(spec).status().IsNotFound());
+}
+
+TEST_F(BuilderFixture, MissingExtractorFails) {
+  IndexSpec spec = CategorySpec(IndexPlacement::kGlobal);
+  spec.extract = nullptr;
+  EXPECT_TRUE(builder.Build(spec).status().IsInvalidArgument());
+}
+
+TEST_F(BuilderFixture, ExtractorErrorAborts) {
+  IndexSpec spec = CategorySpec(IndexPlacement::kGlobal);
+  spec.extract = [](const io::Record&, std::vector<Posting>*) {
+    return Status::Corruption("cannot parse");
+  };
+  EXPECT_TRUE(builder.Build(spec).status().IsCorruption());
+}
+
+TEST_F(BuilderFixture, BackgroundBuildCompletes) {
+  auto handle = builder.BuildInBackground(CategorySpec(IndexPlacement::kGlobal));
+  ASSERT_TRUE(handle->Join().ok());
+  EXPECT_TRUE(catalog.Contains("base.category.idx"));
+}
+
+TEST_F(BuilderFixture, BackgroundBuildReportsFailure) {
+  IndexSpec spec = CategorySpec(IndexPlacement::kGlobal);
+  spec.base_file = "nope";
+  auto handle = builder.BuildInBackground(spec);
+  EXPECT_TRUE(handle->Join().IsNotFound());
+  EXPECT_FALSE(catalog.Contains("base.category.idx"));
+}
+
+TEST(IndexCatalog, AddFindStates) {
+  IndexCatalog catalog;
+  IndexMeta meta;
+  meta.index_name = "idx";
+  meta.base_file = "base";
+  meta.attribute = "cat";
+  meta.placement = IndexPlacement::kLocal;
+  ASSERT_TRUE(catalog.Add(meta).ok());
+  EXPECT_TRUE(catalog.Add(meta).IsAlreadyExists());
+
+  // Still building: not discoverable as ready.
+  EXPECT_FALSE(catalog.FindReady("base", "cat").has_value());
+  ASSERT_TRUE(catalog.SetState("idx", IndexMeta::State::kReady).ok());
+  auto found = catalog.FindReady("base", "cat");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->index_name, "idx");
+  EXPECT_FALSE(catalog.FindReady("base", "other").has_value());
+  EXPECT_TRUE(catalog.SetState("nope", IndexMeta::State::kReady).IsNotFound());
+  EXPECT_EQ(catalog.ListForBase("base").size(), 1u);
+  EXPECT_EQ(catalog.ListAll().size(), 1u);
+}
+
+TEST(IndexPlacementNames, Strings) {
+  EXPECT_STREQ(IndexPlacementToString(IndexPlacement::kLocal), "local");
+  EXPECT_STREQ(IndexPlacementToString(IndexPlacement::kGlobal), "global");
+}
+
+}  // namespace
+}  // namespace lakeharbor::index

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "claims/format.h"
+#include "claims/generator.h"
+#include "common/string_util.h"
+#include "io/ingest.h"
+#include "io/key_codec.h"
+
+namespace lakeharbor::io {
+namespace {
+
+struct IngestFixture : ::testing::Test {
+  IngestFixture() : cluster(sim::ClusterOptions::ForNodes(2)) {
+    dir = std::filesystem::temp_directory_path() /
+          ("lh_ingest_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir);
+  }
+  ~IngestFixture() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  std::shared_ptr<PartitionedFile> MakeFile(const char* name) {
+    return std::make_shared<PartitionedFile>(
+        name, std::make_shared<HashPartitioner>(4), &cluster);
+  }
+
+  static KeyExtractor FirstFieldKey() {
+    return [](const std::string& row) -> StatusOr<IngestKeys> {
+      LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
+      std::string key = EncodeInt64Key(id);
+      return IngestKeys{key, key};
+    };
+  }
+
+  sim::Cluster cluster;
+  std::filesystem::path dir;
+};
+
+TEST_F(IngestFixture, DelimitedRoundTrip) {
+  std::vector<std::string> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back(StrFormat("%d|value-%d", i, i));
+  std::string path = (dir / "table.tbl").string();
+  ASSERT_TRUE(WriteLines(path, rows).ok());
+
+  auto file = MakeFile("t");
+  auto count = IngestDelimitedFile(path, file.get(), FirstFieldKey());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 50u);
+  file->Seal();
+  std::vector<Record> out;
+  ASSERT_TRUE(file->Get(0, Pointer::Keyed(EncodeInt64Key(17)), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].bytes(), "17|value-17");
+}
+
+TEST_F(IngestFixture, DelimitedSkipsEmptyLines) {
+  std::string path = (dir / "gaps.tbl").string();
+  ASSERT_TRUE(WriteLines(path, {"1|a", "", "2|b", ""}).ok());
+  auto file = MakeFile("t");
+  auto count = IngestDelimitedFile(path, file.get(), FirstFieldKey());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST_F(IngestFixture, MissingFileIsIOError) {
+  auto file = MakeFile("t");
+  auto count = IngestDelimitedFile((dir / "nope.tbl").string(), file.get(),
+                                   FirstFieldKey());
+  EXPECT_TRUE(count.status().IsIOError());
+}
+
+TEST_F(IngestFixture, BadRecordSurfacesExtractorError) {
+  std::string path = (dir / "bad.tbl").string();
+  ASSERT_TRUE(WriteLines(path, {"1|ok", "oops|bad"}).ok());
+  auto file = MakeFile("t");
+  auto count = IngestDelimitedFile(path, file.get(), FirstFieldKey());
+  EXPECT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsInvalidArgument());
+}
+
+TEST_F(IngestFixture, BlockedClaimsRoundTrip) {
+  // Real multi-line claims written as a blocked file and ingested back.
+  claims::ClaimsConfig config;
+  config.num_claims = 40;
+  claims::ClaimsData data = claims::GenerateClaims(config);
+  std::string path = (dir / "claims.txt").string();
+  ASSERT_TRUE(WriteBlocks(path, data.raw).ok());
+
+  auto file = MakeFile("claims");
+  auto claim_key = [](const std::string& block) -> StatusOr<IngestKeys> {
+    LH_ASSIGN_OR_RETURN(int64_t id,
+                        claims::ExtractClaimId(Record(std::string(block))));
+    std::string key = EncodeInt64Key(id);
+    return IngestKeys{key, key};
+  };
+  auto count = IngestBlockedFile(path, file.get(), claim_key);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 40u);
+  file->Seal();
+
+  // Every ingested claim parses and matches the generated struct.
+  for (const claims::Claim& original : data.parsed) {
+    std::vector<Record> out;
+    std::string key = EncodeInt64Key(original.ir.claim_id);
+    ASSERT_TRUE(file->Get(0, Pointer::Keyed(key), &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    auto parsed = claims::ParseClaim(out[0]);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->total_expense, original.total_expense);
+    EXPECT_EQ(parsed->diseases.size(), original.diseases.size());
+    EXPECT_EQ(parsed->medicines.size(), original.medicines.size());
+  }
+}
+
+TEST_F(IngestFixture, BlockedFileWithoutTrailingBlankLine) {
+  std::string path = (dir / "tail.txt").string();
+  {
+    std::ofstream out(path);
+    out << "IR,1,2,PW\nRE,5,OUT,30,M\nHO,100\n\nIR,2,3,DPC\nRE,6,IN,40,F\nHO,200\n";
+  }
+  auto file = MakeFile("claims");
+  auto claim_key = [](const std::string& block) -> StatusOr<IngestKeys> {
+    LH_ASSIGN_OR_RETURN(int64_t id,
+                        claims::ExtractClaimId(Record(std::string(block))));
+    std::string key = EncodeInt64Key(id);
+    return IngestKeys{key, key};
+  };
+  auto count = IngestBlockedFile(path, file.get(), claim_key);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+}  // namespace
+}  // namespace lakeharbor::io

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace lakeharbor {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto doc = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(a->AsArray()[2].Find("b")->AsString(), "c");
+  EXPECT_TRUE(doc->FindPath("d.e")->is_null());
+  EXPECT_EQ(doc->FindPath("d.missing"), nullptr);
+  EXPECT_EQ(doc->FindPath("missing.e"), nullptr);
+}
+
+TEST(Json, ParsesEscapes) {
+  auto doc = Json::Parse(R"("line\nbreak \"quoted\" tab\t slash\/ é")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak \"quoted\" tab\t slash/ \xC3\xA9");
+}
+
+TEST(Json, SkipsWhitespaceEverywhere) {
+  auto doc = Json::Parse("  {  \"k\" :\n[ 1 ,\t2 ]  }  ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("k")->AsArray().size(), 2u);
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "\"unterminated",
+        "1 2", "{\"a\":1} x", "[1 2]", "{'a':1}", "\"bad\\escape\"",
+        "\"\\u12\"", "\"\\uzzzz\""}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Json, RejectsUnescapedControlChars) {
+  std::string s = "\"a\nb\"";
+  EXPECT_FALSE(Json::Parse(s).ok());
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json object = Json::MakeObject();
+  object.Set("name", Json::MakeString("r&d \"dept\"\n"));
+  object.Set("count", Json::MakeNumber(42));
+  object.Set("ratio", Json::MakeNumber(0.25));
+  object.Set("flag", Json::MakeBool(true));
+  object.Set("nothing", Json());
+  Json array = Json::MakeArray();
+  array.Append(Json::MakeNumber(1));
+  array.Append(Json::MakeString("two"));
+  object.Set("list", std::move(array));
+
+  auto reparsed = Json::Parse(object.Dump());
+  ASSERT_TRUE(reparsed.ok()) << object.Dump();
+  EXPECT_EQ(reparsed->Find("name")->AsString(), "r&d \"dept\"\n");
+  EXPECT_DOUBLE_EQ(reparsed->Find("count")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(reparsed->Find("ratio")->AsNumber(), 0.25);
+  EXPECT_TRUE(reparsed->Find("flag")->AsBool());
+  EXPECT_TRUE(reparsed->Find("nothing")->is_null());
+  EXPECT_EQ(reparsed->Find("list")->AsArray()[1].AsString(), "two");
+  // Dump is stable (map ordering), so double round-trip is a fixpoint.
+  EXPECT_EQ(reparsed->Dump(), object.Dump());
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json::MakeNumber(12345).Dump(), "12345");
+  EXPECT_EQ(Json::MakeNumber(-7).Dump(), "-7");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::Parse("[]")->AsArray().size(), 0u);
+  EXPECT_EQ(Json::Parse("{}")->AsObject().size(), 0u);
+  EXPECT_EQ(Json::MakeArray().Dump(), "[]");
+  EXPECT_EQ(Json::MakeObject().Dump(), "{}");
+}
+
+}  // namespace
+}  // namespace lakeharbor

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "io/key_codec.h"
+#include "rede/advisor.h"
+#include "rede/statistics.h"
+
+namespace lakeharbor::rede {
+namespace {
+
+struct HistogramFixture : ::testing::Test {
+  HistogramFixture() : cluster(sim::ClusterOptions::ForNodes(2)) {}
+
+  /// Index with keys 0..n-1 (encoded), one entry each, spread round-robin.
+  std::shared_ptr<io::BtreeFile> UniformIndex(int n, uint32_t partitions = 4) {
+    auto index = std::make_shared<io::BtreeFile>(
+        "idx", std::make_shared<io::HashPartitioner>(partitions), &cluster);
+    for (int i = 0; i < n; ++i) {
+      LH_CHECK(index
+                   ->AppendToPartition(static_cast<uint32_t>(i) % partitions,
+                                       io::EncodeInt64Key(i),
+                                       io::Record(std::string("e")))
+                   .ok());
+    }
+    index->Seal();
+    return index;
+  }
+
+  sim::Cluster cluster;
+};
+
+TEST_F(HistogramFixture, EmptyIndex) {
+  auto index = UniformIndex(0);
+  auto histogram = EquiDepthHistogram::Build(*index, 8);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(histogram->total_entries(), 0u);
+  EXPECT_DOUBLE_EQ(
+      histogram->EstimateMatches(io::EncodeInt64Key(0), io::EncodeInt64Key(9)),
+      0.0);
+}
+
+TEST_F(HistogramFixture, ZeroBucketsRejected) {
+  auto index = UniformIndex(10);
+  EXPECT_TRUE(
+      EquiDepthHistogram::Build(*index, 0).status().IsInvalidArgument());
+}
+
+TEST_F(HistogramFixture, FullRangeIsExact) {
+  auto index = UniformIndex(1000);
+  auto histogram = EquiDepthHistogram::Build(*index, 16);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(histogram->total_entries(), 1000u);
+  EXPECT_DOUBLE_EQ(histogram->EstimateMatches(io::EncodeInt64Key(0),
+                                              io::EncodeInt64Key(999)),
+                   1000.0);
+  EXPECT_DOUBLE_EQ(histogram->EstimateSelectivity(io::EncodeInt64Key(0),
+                                                  io::EncodeInt64Key(999)),
+                   1.0);
+}
+
+TEST_F(HistogramFixture, PartialRangesWithinBucketResolution) {
+  auto index = UniformIndex(1000);
+  auto histogram = EquiDepthHistogram::Build(*index, 20);  // depth 50
+  ASSERT_TRUE(histogram.ok());
+  // True count 301; tolerance is one bucket depth on each side.
+  double estimate = histogram->EstimateMatches(io::EncodeInt64Key(100),
+                                               io::EncodeInt64Key(400));
+  EXPECT_NEAR(estimate, 301.0, 50.0);
+  // Narrow range: at most one boundary bucket's half-depth plus slack.
+  double narrow = histogram->EstimateMatches(io::EncodeInt64Key(500),
+                                             io::EncodeInt64Key(505));
+  EXPECT_GT(narrow, 0.0);
+  EXPECT_LE(narrow, 100.0);
+}
+
+TEST_F(HistogramFixture, OutOfDomainRangesAreZero) {
+  auto index = UniformIndex(100);
+  auto histogram = EquiDepthHistogram::Build(*index, 8);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_DOUBLE_EQ(histogram->EstimateMatches(io::EncodeInt64Key(5000),
+                                              io::EncodeInt64Key(6000)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(histogram->EstimateMatches(io::EncodeInt64Key(-50),
+                                              io::EncodeInt64Key(-1)),
+                   0.0);
+  // Inverted range.
+  EXPECT_DOUBLE_EQ(histogram->EstimateMatches(io::EncodeInt64Key(50),
+                                              io::EncodeInt64Key(10)),
+                   0.0);
+}
+
+TEST_F(HistogramFixture, SkewedDuplicatesStayInOneBucket) {
+  auto index = std::make_shared<io::BtreeFile>(
+      "skew", std::make_shared<io::HashPartitioner>(2), &cluster);
+  // 900 duplicates of one key + 100 distinct keys.
+  for (int i = 0; i < 900; ++i) {
+    LH_CHECK(index
+                 ->AppendToPartition(0, io::EncodeInt64Key(42),
+                                     io::Record(std::string("d")))
+                 .ok());
+  }
+  for (int i = 100; i < 200; ++i) {
+    LH_CHECK(index
+                 ->AppendToPartition(1, io::EncodeInt64Key(i),
+                                     io::Record(std::string("u")))
+                 .ok());
+  }
+  index->Seal();
+  auto histogram = EquiDepthHistogram::Build(*index, 10);
+  ASSERT_TRUE(histogram.ok());
+  // The hot key's run must be estimable: a point range on it returns a
+  // large share of its 900 entries.
+  double hot = histogram->EstimateMatches(io::EncodeInt64Key(42),
+                                          io::EncodeInt64Key(42));
+  EXPECT_GE(hot, 450.0);  // at least half depth of its (big) bucket
+}
+
+TEST_F(HistogramFixture, BuildChargesScans) {
+  auto index = UniformIndex(500);
+  cluster.ResetStats();
+  ASSERT_TRUE(EquiDepthHistogram::Build(*index, 8).ok());
+  EXPECT_GT(cluster.TotalStats().bytes_sequential, 0u);
+  EXPECT_EQ(index->access_stats().partition_scans.load(),
+            index->num_partitions());
+}
+
+TEST_F(HistogramFixture, AdvisorUsesHistogramWithoutProbing) {
+  auto index = UniformIndex(1000);
+  auto histogram = EquiDepthHistogram::Build(*index, 16);
+  ASSERT_TRUE(histogram.ok());
+
+  StructureAdvisor advisor(&cluster);
+  PlanQuery query;
+  query.driving_index = index;
+  query.range_lo = io::EncodeInt64Key(0);
+  query.range_hi = io::EncodeInt64Key(99);
+  query.ios_per_match = 2.0;
+  query.scan_bytes = 1 << 20;
+  query.histogram = &*histogram;
+
+  index->mutable_access_stats().Reset();
+  auto estimate = advisor.Choose(query);
+  ASSERT_TRUE(estimate.ok());
+  // No probe happened.
+  EXPECT_EQ(index->access_stats().range_lookups.load(), 0u);
+  EXPECT_NEAR(estimate->estimated_matches, 100.0, 70.0);
+
+  // Probe-based estimation touches the structure.
+  query.histogram = nullptr;
+  ASSERT_TRUE(advisor.Choose(query).ok());
+  EXPECT_EQ(index->access_stats().range_lookups.load(), 1u);
+}
+
+}  // namespace
+}  // namespace lakeharbor::rede

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+#include "tpch/dates.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/part_join.h"
+#include "tpch/q5.h"
+#include "tpch/schema.h"
+
+namespace lakeharbor::tpch {
+namespace {
+
+// -------------------------------------------------------------------- dates
+
+TEST(Dates, KnownAnchors) {
+  EXPECT_EQ(DayToDate(0), "1992-01-01");
+  EXPECT_EQ(DayToDate(30), "1992-01-31");
+  EXPECT_EQ(DayToDate(31), "1992-02-01");
+  EXPECT_EQ(DayToDate(59), "1992-02-29");  // 1992 is a leap year
+  EXPECT_EQ(DayToDate(60), "1992-03-01");
+  EXPECT_EQ(DayToDate(366), "1993-01-01");
+  EXPECT_EQ(DayToDate(kMaxOrderDay), "1998-08-02");
+}
+
+TEST(Dates, RoundTripEveryDay) {
+  for (int day = kMinOrderDay; day <= kMaxOrderDay; ++day) {
+    std::string date = DayToDate(day);
+    auto back = DateToDay(date);
+    ASSERT_TRUE(back.ok()) << date;
+    EXPECT_EQ(*back, day);
+  }
+}
+
+TEST(Dates, LexicographicOrderEqualsChronological) {
+  for (int day = kMinOrderDay; day < kMaxOrderDay; ++day) {
+    EXPECT_LT(DayToDate(day), DayToDate(day + 1));
+  }
+}
+
+TEST(Dates, RejectsMalformed) {
+  EXPECT_FALSE(DateToDay("1992/01/01").ok());
+  EXPECT_FALSE(DateToDay("92-01-01").ok());
+  EXPECT_FALSE(DateToDay("1992-13-01").ok());
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, CardinalitiesFollowScale) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  TpchData data = Generate(config);
+  EXPECT_EQ(data.region.size(), 5u);
+  EXPECT_EQ(data.nation.size(), 25u);
+  EXPECT_EQ(data.customer.size(), 300u);
+  EXPECT_EQ(data.orders.size(), 3000u);
+  EXPECT_EQ(data.supplier.size(), 20u);
+  EXPECT_EQ(data.part.size(), 40u);
+  // 1..7 lineitems per order.
+  EXPECT_GE(data.lineitem.size(), data.orders.size());
+  EXPECT_LE(data.lineitem.size(), data.orders.size() * 7);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  TpchData a = Generate(config);
+  TpchData b = Generate(config);
+  EXPECT_EQ(a.orders, b.orders);
+  EXPECT_EQ(a.lineitem, b.lineitem);
+  config.seed += 1;
+  TpchData c = Generate(config);
+  EXPECT_NE(a.orders, c.orders);
+}
+
+TEST(Generator, RowsAreWellFormed) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  TpchData data = Generate(config);
+  for (const auto& row : data.orders) {
+    EXPECT_TRUE(ParseInt64(FieldAt(row, kDelim, orders::kOrderKey)).ok());
+    EXPECT_TRUE(ParseInt64(FieldAt(row, kDelim, orders::kCustKey)).ok());
+    std::string date(FieldAt(row, kDelim, orders::kOrderDate));
+    EXPECT_TRUE(DateToDay(date).ok()) << date;
+  }
+  for (const auto& row : data.lineitem) {
+    EXPECT_TRUE(ParseInt64(FieldAt(row, kDelim, lineitem::kOrderKey)).ok());
+    EXPECT_TRUE(ParseInt64(FieldAt(row, kDelim, lineitem::kSuppKey)).ok());
+    EXPECT_TRUE(
+        ParseDouble(FieldAt(row, kDelim, lineitem::kExtendedPrice)).ok());
+  }
+}
+
+TEST(Generator, ForeignKeysResolve) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  TpchData data = Generate(config);
+  for (const auto& row : data.orders) {
+    int64_t cust = *ParseInt64(FieldAt(row, kDelim, orders::kCustKey));
+    EXPECT_GE(cust, 1);
+    EXPECT_LE(cust, static_cast<int64_t>(data.customer.size()));
+  }
+  for (const auto& row : data.lineitem) {
+    int64_t supp = *ParseInt64(FieldAt(row, kDelim, lineitem::kSuppKey));
+    EXPECT_GE(supp, 1);
+    EXPECT_LE(supp, static_cast<int64_t>(data.supplier.size()));
+  }
+}
+
+TEST(QParams, SelectivityMapsToDateWidth) {
+  Q5Params p = MakeQ5Params(1.0);
+  EXPECT_EQ(p.date_lo, "1992-01-01");
+  EXPECT_EQ(p.date_hi, "1998-08-02");
+  Q5Params tiny = MakeQ5Params(1e-9);
+  EXPECT_EQ(tiny.date_lo, tiny.date_hi);  // clamped to one day
+}
+
+// ------------------------------------------------------ loaded-lake fixture
+
+struct TpchFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    cluster_ = new sim::Cluster(sim::ClusterOptions::ForNodes(4));
+    engine_ = new rede::Engine(cluster_);
+    TpchConfig config;
+    config.scale_factor = 0.004;  // 600 customers / 6000 orders
+    data_ = new TpchData(Generate(config));
+    LH_CHECK(LoadIntoLake(*engine_, *data_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete cluster_;
+    delete data_;
+    engine_ = nullptr;
+    cluster_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static sim::Cluster* cluster_;
+  static rede::Engine* engine_;
+  static TpchData* data_;
+};
+
+sim::Cluster* TpchFixture::cluster_ = nullptr;
+rede::Engine* TpchFixture::engine_ = nullptr;
+TpchData* TpchFixture::data_ = nullptr;
+
+TEST_F(TpchFixture, LoaderRegistersFilesAndStructures) {
+  auto& catalog = engine_->catalog();
+  for (const char* name :
+       {names::kRegion, names::kNation, names::kSupplier, names::kCustomer,
+        names::kPart, names::kOrders, names::kLineitem,
+        names::kOrdersDateIndex, names::kLineitemOrderKeyIndex}) {
+    EXPECT_TRUE(catalog.Contains(name)) << name;
+  }
+  EXPECT_EQ((*catalog.Get(names::kOrders))->num_records(),
+            data_->orders.size());
+  EXPECT_EQ((*catalog.Get(names::kLineitem))->num_records(),
+            data_->lineitem.size());
+  EXPECT_EQ((*catalog.Get(names::kOrdersDateIndex))->num_records(),
+            data_->orders.size());
+  EXPECT_EQ((*catalog.Get(names::kLineitemOrderKeyIndex))->num_records(),
+            data_->lineitem.size());
+  EXPECT_TRUE(engine_->index_catalog()
+                  .FindReady(names::kOrders, "o_orderdate")
+                  .has_value());
+}
+
+TEST_F(TpchFixture, OracleIsMonotoneInSelectivity) {
+  auto small = Q5Oracle(*data_, MakeQ5Params(0.01));
+  auto big = Q5Oracle(*data_, MakeQ5Params(0.5));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_LE(small->rows, big->rows);
+  EXPECT_GT(big->rows, 0u);
+}
+
+class TpchSelectivityTest : public TpchFixture,
+                            public ::testing::WithParamInterface<double> {};
+
+TEST_P(TpchSelectivityTest, AllThreeImplementationsAgree) {
+  const double selectivity = GetParam();
+  Q5Params params = MakeQ5Params(selectivity);
+
+  auto oracle = Q5Oracle(*data_, params);
+  ASSERT_TRUE(oracle.ok());
+
+  auto job = BuildQ5RedeJob(*engine_, params);
+  ASSERT_TRUE(job.ok());
+  auto smpe = engine_->ExecuteCollect(*job, rede::ExecutionMode::kSmpe);
+  ASSERT_TRUE(smpe.ok());
+  auto smpe_summary = SummarizeRedeOutput(smpe->tuples);
+  ASSERT_TRUE(smpe_summary.ok());
+  EXPECT_EQ(*smpe_summary, *oracle) << "SMPE vs oracle, sel=" << selectivity;
+
+  auto part = engine_->ExecuteCollect(*job, rede::ExecutionMode::kPartitioned);
+  ASSERT_TRUE(part.ok());
+  auto part_summary = SummarizeRedeOutput(part->tuples);
+  ASSERT_TRUE(part_summary.ok());
+  EXPECT_EQ(*part_summary, *oracle) << "partitioned vs oracle";
+
+  baseline::ScanEngine scan_engine(cluster_);
+  auto base = RunQ5Baseline(scan_engine, engine_->catalog(), params);
+  ASSERT_TRUE(base.ok());
+  auto base_summary = SummarizeBaselineOutput(*base);
+  ASSERT_TRUE(base_summary.ok());
+  EXPECT_EQ(*base_summary, *oracle) << "baseline vs oracle";
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, TpchSelectivityTest,
+                         ::testing::Values(0.0005, 0.005, 0.05, 0.3, 1.0));
+
+TEST_F(TpchFixture, RedeTouchesFarFewerRecordsAtLowSelectivity) {
+  Q5Params params = MakeQ5Params(0.002);
+  auto& catalog = engine_->catalog();
+
+  catalog.ResetAccessStats();
+  auto job = BuildQ5RedeJob(*engine_, params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(engine_->Execute(*job, rede::ExecutionMode::kSmpe).ok());
+  uint64_t rede_accesses = catalog.TotalRecordAccesses();
+
+  catalog.ResetAccessStats();
+  baseline::ScanEngine scan_engine(cluster_);
+  ASSERT_TRUE(RunQ5Baseline(scan_engine, catalog, params).ok());
+  uint64_t baseline_accesses = catalog.TotalRecordAccesses();
+
+  EXPECT_LT(rede_accesses * 10, baseline_accesses)
+      << "rede=" << rede_accesses << " baseline=" << baseline_accesses;
+}
+
+// ---------------------------------------------- range-partitioned structure
+
+struct RangeIndexFixture : ::testing::Test {
+  RangeIndexFixture()
+      : cluster(sim::ClusterOptions::ForNodes(4)), engine(&cluster) {
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    data = Generate(config);
+    LoadOptions options;
+    options.partitions = 8;
+    options.build_range_partitioned_date_index = true;
+    LH_CHECK(LoadIntoLake(engine, data, options).ok());
+  }
+
+  StatusOr<rede::Job> DateJob(const char* index_name,
+                              rede::RangeRouting routing,
+                              const Q5Params& params) {
+    LH_ASSIGN_OR_RETURN(auto orders, engine.catalog().Get(names::kOrders));
+    auto idx = std::dynamic_pointer_cast<io::BtreeFile>(
+        *engine.catalog().Get(index_name));
+    LH_CHECK(idx != nullptr);
+    using namespace rede;  // NOLINT
+    return JobBuilder("date-select")
+        .Initial(Tuple::Range(io::Pointer::Broadcast(params.date_lo),
+                              io::Pointer::Broadcast(params.date_hi)))
+        .Add(MakeRangeDereferencer("deref-idx", idx, nullptr, routing))
+        .Add(MakeIndexEntryReferencer("ref-order"))
+        .Add(MakePointDereferencer("deref-orders", orders))
+        .Build();
+  }
+
+  std::multiset<std::string> OrderKeys(const std::vector<rede::Tuple>& ts) {
+    std::multiset<std::string> out;
+    for (const auto& t : ts) {
+      out.insert(std::string(
+          FieldAt(t.last_record().slice().view(), kDelim, orders::kOrderKey)));
+    }
+    return out;
+  }
+
+  sim::Cluster cluster;
+  rede::Engine engine;
+  TpchData data;
+};
+
+TEST_F(RangeIndexFixture, PrunedRangeMatchesLocalIndexInBothModes) {
+  Q5Params params = MakeQ5Params(0.05);
+  auto local_job =
+      DateJob(names::kOrdersDateIndex, rede::RangeRouting::kBroadcast, params);
+  auto pruned_job = DateJob(names::kOrdersDateRangeIndex,
+                            rede::RangeRouting::kPruneByKeyRange, params);
+  ASSERT_TRUE(local_job.ok());
+  ASSERT_TRUE(pruned_job.ok());
+  auto local = engine.ExecuteCollect(*local_job, rede::ExecutionMode::kSmpe);
+  ASSERT_TRUE(local.ok());
+  ASSERT_GT(local->tuples.size(), 0u);
+  for (auto mode :
+       {rede::ExecutionMode::kSmpe, rede::ExecutionMode::kPartitioned}) {
+    auto pruned = engine.ExecuteCollect(*pruned_job, mode);
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_EQ(OrderKeys(local->tuples), OrderKeys(pruned->tuples))
+        << rede::ExecutionModeToString(mode);
+    // Pruning means no broadcast at all.
+    EXPECT_EQ(pruned->metrics.broadcasts, 0u);
+  }
+}
+
+TEST_F(RangeIndexFixture, NarrowRangeProbesFewPartitions) {
+  Q5Params params = MakeQ5Params(0.002);
+  auto pruned_job = DateJob(names::kOrdersDateRangeIndex,
+                            rede::RangeRouting::kPruneByKeyRange, params);
+  ASSERT_TRUE(pruned_job.ok());
+  auto ridx = *engine.catalog().Get(names::kOrdersDateRangeIndex);
+  ridx->mutable_access_stats().Reset();
+  ASSERT_TRUE(engine.Execute(*pruned_job, rede::ExecutionMode::kSmpe).ok());
+  // A ~5-day range out of 2406 days fits in one or two quantile buckets.
+  EXPECT_LE(ridx->access_stats().range_lookups.load(), 2u);
+
+  auto local_job =
+      DateJob(names::kOrdersDateIndex, rede::RangeRouting::kBroadcast, params);
+  ASSERT_TRUE(local_job.ok());
+  auto lidx = *engine.catalog().Get(names::kOrdersDateIndex);
+  lidx->mutable_access_stats().Reset();
+  ASSERT_TRUE(engine.Execute(*local_job, rede::ExecutionMode::kSmpe).ok());
+  EXPECT_EQ(lidx->access_stats().range_lookups.load(),
+            lidx->num_partitions());
+}
+
+TEST_F(RangeIndexFixture, RangeIndexIsBalancedByQuantiles) {
+  auto ridx = std::dynamic_pointer_cast<io::BtreeFile>(
+      *engine.catalog().Get(names::kOrdersDateRangeIndex));
+  ASSERT_NE(ridx, nullptr);
+  // Quantile boundaries should spread entries within ~3x of each other.
+  uint64_t min_records = UINT64_MAX, max_records = 0;
+  for (uint32_t p = 0; p < ridx->num_partitions(); ++p) {
+    min_records = std::min(min_records, ridx->partition_records(p));
+    max_records = std::max(max_records, ridx->partition_records(p));
+  }
+  EXPECT_GT(min_records, 0u);
+  EXPECT_LT(max_records, min_records * 3);
+}
+
+struct PartJoinFixture : ::testing::Test {
+  PartJoinFixture()
+      : cluster(sim::ClusterOptions::ForNodes(4)), engine(&cluster) {
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    data = Generate(config);
+    LoadOptions options;
+    options.build_part_join_indexes = true;
+    LH_CHECK(LoadIntoLake(engine, data, options).ok());
+  }
+
+  sim::Cluster cluster;
+  rede::Engine engine;
+  TpchData data;
+};
+
+TEST_F(PartJoinFixture, LoaderBuildsTheFig4Structures) {
+  EXPECT_TRUE(engine.catalog().Contains(names::kPartRetailPriceIndex));
+  EXPECT_TRUE(engine.catalog().Contains(names::kLineitemPartKeyIndex));
+  EXPECT_TRUE(engine.index_catalog()
+                  .FindReady(names::kPart, "p_retailprice")
+                  .has_value());
+  EXPECT_TRUE(engine.index_catalog()
+                  .FindReady(names::kLineitem, "l_partkey")
+                  .has_value());
+}
+
+TEST_F(PartJoinFixture, GlobalIndexJoinMatchesOracle) {
+  PartJoinParams params;
+  params.price_lo = 900.0;
+  params.price_hi = 902.0;
+  auto oracle = PartJoinOracle(data, params);
+  ASSERT_GT(oracle.size(), 0u);
+  auto job = BuildPartLineitemJoinJob(engine, params);
+  ASSERT_TRUE(job.ok());
+  for (auto mode :
+       {rede::ExecutionMode::kSmpe, rede::ExecutionMode::kPartitioned}) {
+    auto result = engine.ExecuteCollect(*job, mode);
+    ASSERT_TRUE(result.ok());
+    auto summary = SummarizePartJoinOutput(result->tuples);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_EQ(*summary, oracle) << rede::ExecutionModeToString(mode);
+  }
+}
+
+TEST_F(PartJoinFixture, BroadcastJoinMatchesGlobalIndexJoin) {
+  PartJoinParams global_params;
+  global_params.price_hi = 901.5;
+  PartJoinParams bcast_params = global_params;
+  bcast_params.broadcast = true;
+
+  auto global_job = BuildPartLineitemJoinJob(engine, global_params);
+  auto bcast_job = BuildPartLineitemJoinJob(engine, bcast_params);
+  ASSERT_TRUE(global_job.ok());
+  ASSERT_TRUE(bcast_job.ok());
+  auto global_result =
+      engine.ExecuteCollect(*global_job, rede::ExecutionMode::kSmpe);
+  auto bcast_result =
+      engine.ExecuteCollect(*bcast_job, rede::ExecutionMode::kSmpe);
+  ASSERT_TRUE(global_result.ok());
+  ASSERT_TRUE(bcast_result.ok());
+  EXPECT_EQ(*SummarizePartJoinOutput(global_result->tuples),
+            *SummarizePartJoinOutput(bcast_result->tuples));
+  EXPECT_EQ(*SummarizePartJoinOutput(global_result->tuples),
+            PartJoinOracle(data, global_params));
+  // The broadcast plan replicates pointers instead of hash-routing them.
+  EXPECT_GT(bcast_result->metrics.broadcasts, 0u);
+  EXPECT_EQ(global_result->metrics.broadcasts, 0u);
+}
+
+}  // namespace
+}  // namespace lakeharbor::tpch
