@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_maintenance"
+  "../bench/ablation_adaptive_maintenance.pdb"
+  "CMakeFiles/ablation_adaptive_maintenance.dir/ablation_adaptive_maintenance.cc.o"
+  "CMakeFiles/ablation_adaptive_maintenance.dir/ablation_adaptive_maintenance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_advisor"
+  "../bench/ablation_advisor.pdb"
+  "CMakeFiles/ablation_advisor.dir/ablation_advisor.cc.o"
+  "CMakeFiles/ablation_advisor.dir/ablation_advisor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

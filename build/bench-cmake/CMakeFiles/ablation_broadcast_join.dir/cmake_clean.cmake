@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_broadcast_join"
+  "../bench/ablation_broadcast_join.pdb"
+  "CMakeFiles/ablation_broadcast_join.dir/ablation_broadcast_join.cc.o"
+  "CMakeFiles/ablation_broadcast_join.dir/ablation_broadcast_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_broadcast_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_index_build"
+  "../bench/ablation_index_build.pdb"
+  "CMakeFiles/ablation_index_build.dir/ablation_index_build.cc.o"
+  "CMakeFiles/ablation_index_build.dir/ablation_index_build.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

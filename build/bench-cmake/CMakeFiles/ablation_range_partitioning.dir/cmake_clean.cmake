@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_range_partitioning"
+  "../bench/ablation_range_partitioning.pdb"
+  "CMakeFiles/ablation_range_partitioning.dir/ablation_range_partitioning.cc.o"
+  "CMakeFiles/ablation_range_partitioning.dir/ablation_range_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_range_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

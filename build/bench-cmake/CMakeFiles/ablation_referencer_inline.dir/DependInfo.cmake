@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_referencer_inline.cc" "bench-cmake/CMakeFiles/ablation_referencer_inline.dir/ablation_referencer_inline.cc.o" "gcc" "bench-cmake/CMakeFiles/ablation_referencer_inline.dir/ablation_referencer_inline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/lh_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/claims/CMakeFiles/lh_claims.dir/DependInfo.cmake"
+  "/root/repo/build/src/rede/CMakeFiles/lh_rede.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lh_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lh_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

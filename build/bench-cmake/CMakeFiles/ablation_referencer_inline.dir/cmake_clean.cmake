@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_referencer_inline"
+  "../bench/ablation_referencer_inline.pdb"
+  "CMakeFiles/ablation_referencer_inline.dir/ablation_referencer_inline.cc.o"
+  "CMakeFiles/ablation_referencer_inline.dir/ablation_referencer_inline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_referencer_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scaleout"
+  "../bench/ablation_scaleout.pdb"
+  "CMakeFiles/ablation_scaleout.dir/ablation_scaleout.cc.o"
+  "CMakeFiles/ablation_scaleout.dir/ablation_scaleout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_tpch_q5"
+  "../bench/fig7_tpch_q5.pdb"
+  "CMakeFiles/fig7_tpch_q5.dir/fig7_tpch_q5.cc.o"
+  "CMakeFiles/fig7_tpch_q5.dir/fig7_tpch_q5.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tpch_q5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_tpch_q5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_claims_accesses"
+  "../bench/fig9_claims_accesses.pdb"
+  "CMakeFiles/fig9_claims_accesses.dir/fig9_claims_accesses.cc.o"
+  "CMakeFiles/fig9_claims_accesses.dir/fig9_claims_accesses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_claims_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_claims.dir/healthcare_claims.cpp.o"
+  "CMakeFiles/healthcare_claims.dir/healthcare_claims.cpp.o.d"
+  "healthcare_claims"
+  "healthcare_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

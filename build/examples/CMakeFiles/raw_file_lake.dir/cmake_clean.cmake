@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_file_lake.dir/raw_file_lake.cpp.o"
+  "CMakeFiles/raw_file_lake.dir/raw_file_lake.cpp.o.d"
+  "raw_file_lake"
+  "raw_file_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_file_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

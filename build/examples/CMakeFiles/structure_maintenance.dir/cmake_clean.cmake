@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_maintenance.dir/structure_maintenance.cpp.o"
+  "CMakeFiles/structure_maintenance.dir/structure_maintenance.cpp.o.d"
+  "structure_maintenance"
+  "structure_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_join.dir/tpch_join.cpp.o"
+  "CMakeFiles/tpch_join.dir/tpch_join.cpp.o.d"
+  "tpch_join"
+  "tpch_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_baseline.dir/scan_engine.cc.o"
+  "CMakeFiles/lh_baseline.dir/scan_engine.cc.o.d"
+  "liblh_baseline.a"
+  "liblh_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

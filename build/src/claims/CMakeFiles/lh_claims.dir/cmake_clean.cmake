@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_claims.dir/fhir.cc.o"
+  "CMakeFiles/lh_claims.dir/fhir.cc.o.d"
+  "CMakeFiles/lh_claims.dir/format.cc.o"
+  "CMakeFiles/lh_claims.dir/format.cc.o.d"
+  "CMakeFiles/lh_claims.dir/generator.cc.o"
+  "CMakeFiles/lh_claims.dir/generator.cc.o.d"
+  "CMakeFiles/lh_claims.dir/loader.cc.o"
+  "CMakeFiles/lh_claims.dir/loader.cc.o.d"
+  "CMakeFiles/lh_claims.dir/queries.cc.o"
+  "CMakeFiles/lh_claims.dir/queries.cc.o.d"
+  "liblh_claims.a"
+  "liblh_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_common.dir/hash.cc.o"
+  "CMakeFiles/lh_common.dir/hash.cc.o.d"
+  "CMakeFiles/lh_common.dir/json.cc.o"
+  "CMakeFiles/lh_common.dir/json.cc.o.d"
+  "CMakeFiles/lh_common.dir/logging.cc.o"
+  "CMakeFiles/lh_common.dir/logging.cc.o.d"
+  "CMakeFiles/lh_common.dir/status.cc.o"
+  "CMakeFiles/lh_common.dir/status.cc.o.d"
+  "CMakeFiles/lh_common.dir/string_util.cc.o"
+  "CMakeFiles/lh_common.dir/string_util.cc.o.d"
+  "liblh_common.a"
+  "liblh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

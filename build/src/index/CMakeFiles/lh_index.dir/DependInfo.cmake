@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bloom.cc" "src/index/CMakeFiles/lh_index.dir/bloom.cc.o" "gcc" "src/index/CMakeFiles/lh_index.dir/bloom.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/index/CMakeFiles/lh_index.dir/index_builder.cc.o" "gcc" "src/index/CMakeFiles/lh_index.dir/index_builder.cc.o.d"
+  "/root/repo/src/index/index_catalog.cc" "src/index/CMakeFiles/lh_index.dir/index_catalog.cc.o" "gcc" "src/index/CMakeFiles/lh_index.dir/index_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_index.dir/bloom.cc.o"
+  "CMakeFiles/lh_index.dir/bloom.cc.o.d"
+  "CMakeFiles/lh_index.dir/index_builder.cc.o"
+  "CMakeFiles/lh_index.dir/index_builder.cc.o.d"
+  "CMakeFiles/lh_index.dir/index_catalog.cc.o"
+  "CMakeFiles/lh_index.dir/index_catalog.cc.o.d"
+  "liblh_index.a"
+  "liblh_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

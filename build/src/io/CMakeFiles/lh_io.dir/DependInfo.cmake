@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/catalog.cc" "src/io/CMakeFiles/lh_io.dir/catalog.cc.o" "gcc" "src/io/CMakeFiles/lh_io.dir/catalog.cc.o.d"
+  "/root/repo/src/io/ingest.cc" "src/io/CMakeFiles/lh_io.dir/ingest.cc.o" "gcc" "src/io/CMakeFiles/lh_io.dir/ingest.cc.o.d"
+  "/root/repo/src/io/key_codec.cc" "src/io/CMakeFiles/lh_io.dir/key_codec.cc.o" "gcc" "src/io/CMakeFiles/lh_io.dir/key_codec.cc.o.d"
+  "/root/repo/src/io/partitioned_file.cc" "src/io/CMakeFiles/lh_io.dir/partitioned_file.cc.o" "gcc" "src/io/CMakeFiles/lh_io.dir/partitioned_file.cc.o.d"
+  "/root/repo/src/io/partitioner.cc" "src/io/CMakeFiles/lh_io.dir/partitioner.cc.o" "gcc" "src/io/CMakeFiles/lh_io.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

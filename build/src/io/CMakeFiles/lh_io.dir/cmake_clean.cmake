@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_io.dir/catalog.cc.o"
+  "CMakeFiles/lh_io.dir/catalog.cc.o.d"
+  "CMakeFiles/lh_io.dir/ingest.cc.o"
+  "CMakeFiles/lh_io.dir/ingest.cc.o.d"
+  "CMakeFiles/lh_io.dir/key_codec.cc.o"
+  "CMakeFiles/lh_io.dir/key_codec.cc.o.d"
+  "CMakeFiles/lh_io.dir/partitioned_file.cc.o"
+  "CMakeFiles/lh_io.dir/partitioned_file.cc.o.d"
+  "CMakeFiles/lh_io.dir/partitioner.cc.o"
+  "CMakeFiles/lh_io.dir/partitioner.cc.o.d"
+  "liblh_io.a"
+  "liblh_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

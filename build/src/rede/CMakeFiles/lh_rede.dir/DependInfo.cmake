@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rede/adaptive.cc" "src/rede/CMakeFiles/lh_rede.dir/adaptive.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/adaptive.cc.o.d"
+  "/root/repo/src/rede/advisor.cc" "src/rede/CMakeFiles/lh_rede.dir/advisor.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/advisor.cc.o.d"
+  "/root/repo/src/rede/builtin_derefs.cc" "src/rede/CMakeFiles/lh_rede.dir/builtin_derefs.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/builtin_derefs.cc.o.d"
+  "/root/repo/src/rede/builtin_refs.cc" "src/rede/CMakeFiles/lh_rede.dir/builtin_refs.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/builtin_refs.cc.o.d"
+  "/root/repo/src/rede/engine.cc" "src/rede/CMakeFiles/lh_rede.dir/engine.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/engine.cc.o.d"
+  "/root/repo/src/rede/functions.cc" "src/rede/CMakeFiles/lh_rede.dir/functions.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/functions.cc.o.d"
+  "/root/repo/src/rede/job.cc" "src/rede/CMakeFiles/lh_rede.dir/job.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/job.cc.o.d"
+  "/root/repo/src/rede/partitioned_executor.cc" "src/rede/CMakeFiles/lh_rede.dir/partitioned_executor.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/partitioned_executor.cc.o.d"
+  "/root/repo/src/rede/smpe_executor.cc" "src/rede/CMakeFiles/lh_rede.dir/smpe_executor.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/smpe_executor.cc.o.d"
+  "/root/repo/src/rede/statistics.cc" "src/rede/CMakeFiles/lh_rede.dir/statistics.cc.o" "gcc" "src/rede/CMakeFiles/lh_rede.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lh_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

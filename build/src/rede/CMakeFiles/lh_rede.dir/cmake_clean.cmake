@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_rede.dir/adaptive.cc.o"
+  "CMakeFiles/lh_rede.dir/adaptive.cc.o.d"
+  "CMakeFiles/lh_rede.dir/advisor.cc.o"
+  "CMakeFiles/lh_rede.dir/advisor.cc.o.d"
+  "CMakeFiles/lh_rede.dir/builtin_derefs.cc.o"
+  "CMakeFiles/lh_rede.dir/builtin_derefs.cc.o.d"
+  "CMakeFiles/lh_rede.dir/builtin_refs.cc.o"
+  "CMakeFiles/lh_rede.dir/builtin_refs.cc.o.d"
+  "CMakeFiles/lh_rede.dir/engine.cc.o"
+  "CMakeFiles/lh_rede.dir/engine.cc.o.d"
+  "CMakeFiles/lh_rede.dir/functions.cc.o"
+  "CMakeFiles/lh_rede.dir/functions.cc.o.d"
+  "CMakeFiles/lh_rede.dir/job.cc.o"
+  "CMakeFiles/lh_rede.dir/job.cc.o.d"
+  "CMakeFiles/lh_rede.dir/partitioned_executor.cc.o"
+  "CMakeFiles/lh_rede.dir/partitioned_executor.cc.o.d"
+  "CMakeFiles/lh_rede.dir/smpe_executor.cc.o"
+  "CMakeFiles/lh_rede.dir/smpe_executor.cc.o.d"
+  "CMakeFiles/lh_rede.dir/statistics.cc.o"
+  "CMakeFiles/lh_rede.dir/statistics.cc.o.d"
+  "liblh_rede.a"
+  "liblh_rede.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_rede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

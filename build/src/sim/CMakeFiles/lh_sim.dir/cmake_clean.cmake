@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_sim.dir/cluster.cc.o"
+  "CMakeFiles/lh_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/lh_sim.dir/disk.cc.o"
+  "CMakeFiles/lh_sim.dir/disk.cc.o.d"
+  "CMakeFiles/lh_sim.dir/network.cc.o"
+  "CMakeFiles/lh_sim.dir/network.cc.o.d"
+  "liblh_sim.a"
+  "liblh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

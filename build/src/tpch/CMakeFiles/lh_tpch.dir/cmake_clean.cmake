@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_tpch.dir/dates.cc.o"
+  "CMakeFiles/lh_tpch.dir/dates.cc.o.d"
+  "CMakeFiles/lh_tpch.dir/generator.cc.o"
+  "CMakeFiles/lh_tpch.dir/generator.cc.o.d"
+  "CMakeFiles/lh_tpch.dir/loader.cc.o"
+  "CMakeFiles/lh_tpch.dir/loader.cc.o.d"
+  "CMakeFiles/lh_tpch.dir/part_join.cc.o"
+  "CMakeFiles/lh_tpch.dir/part_join.cc.o.d"
+  "CMakeFiles/lh_tpch.dir/q5.cc.o"
+  "CMakeFiles/lh_tpch.dir/q5.cc.o.d"
+  "liblh_tpch.a"
+  "liblh_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rede_test.dir/rede_test.cc.o"
+  "CMakeFiles/rede_test.dir/rede_test.cc.o.d"
+  "rede_test"
+  "rede_test.pdb"
+  "rede_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rede_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
