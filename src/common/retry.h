@@ -1,0 +1,80 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+/// \file retry.h
+/// Bounded retry with exponential backoff for transient failures
+/// (Status::IsRetryable). Shared by the executors (per-task Dereferencer
+/// retry), statistics builders (per-partition scan retry), and anything
+/// else that talks to the fallible simulated devices.
+
+namespace lakeharbor {
+
+/// Knobs of one retry loop. The default policy performs NO retries — every
+/// caller keeps today's fail-fast semantics unless it opts in — so turning
+/// retries on is always an explicit decision (and the fault-tolerance bench
+/// sweeps both sides of it).
+struct RetryPolicy {
+  /// Retries beyond the first attempt (0 = fail fast on the first error).
+  size_t max_retries = 0;
+  /// Backoff before the first retry.
+  uint64_t backoff_initial_us = 100;
+  /// Growth factor of successive backoffs (exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff sleep.
+  uint64_t backoff_max_us = 5000;
+
+  bool enabled() const { return max_retries > 0; }
+
+  /// Backoff before retry number `retry_index` (1-based):
+  /// min(backoff_max_us, backoff_initial_us * multiplier^(retry_index-1)).
+  uint64_t BackoffUs(size_t retry_index) const {
+    double us = static_cast<double>(backoff_initial_us);
+    for (size_t i = 1; i < retry_index; ++i) {
+      us *= backoff_multiplier;
+      if (us >= static_cast<double>(backoff_max_us)) break;
+    }
+    if (us >= static_cast<double>(backoff_max_us)) return backoff_max_us;
+    return static_cast<uint64_t>(us);
+  }
+};
+
+/// Called before each backoff sleep with the 1-based retry index and the
+/// backoff about to be slept — metrics hooks.
+using RetryObserver = std::function<void(size_t retry_index,
+                                         uint64_t backoff_us)>;
+
+/// Run `op` (a callable returning Status) under `policy`: retryable errors
+/// are retried up to policy.max_retries times with exponential backoff;
+/// permanent errors and exhausted retries surface immediately. An exhausted
+/// retryable error keeps its original code and message, prefixed with the
+/// attempt count for context.
+template <typename Op>
+Status RunWithRetry(const RetryPolicy& policy, Op&& op,
+                    const RetryObserver& observe = nullptr) {
+  size_t attempt = 0;
+  for (;;) {
+    Status status = op();
+    if (status.ok() || !status.IsRetryable()) return status;
+    if (attempt >= policy.max_retries) {
+      return attempt == 0
+                 ? status
+                 : status.WithContext("after " + std::to_string(attempt + 1) +
+                                      " attempts");
+    }
+    ++attempt;
+    const uint64_t backoff_us = policy.BackoffUs(attempt);
+    if (observe) observe(attempt, backoff_us);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
+}  // namespace lakeharbor

@@ -32,6 +32,17 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeIsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code());

@@ -29,6 +29,14 @@ enum class StatusCode : int {
 /// Returns a stable human-readable name ("IOError", "NotFound", ...).
 const char* StatusCodeToString(StatusCode code);
 
+/// Transient/permanent classification of the taxonomy. Retryable codes are
+/// the ones real storage and network layers emit for conditions that a
+/// bounded retry with backoff can outlast: a device hiccup (kIoError), a
+/// node or link that is temporarily down (kUnavailable), or an exhausted
+/// quota/queue (kResourceExhausted). Everything else — corruption, bad
+/// arguments, aborted protocols — is permanent and must fail fast.
+bool StatusCodeIsRetryable(StatusCode code);
+
 /// A Status holds either success (ok) or an error code plus message.
 /// The ok state is represented by a null pimpl so that returning OK is free.
 class Status {
@@ -99,6 +107,10 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// True when the error is transient (kIoError / kUnavailable /
+  /// kResourceExhausted) and a bounded retry is a sensible reaction.
+  bool IsRetryable() const { return StatusCodeIsRetryable(code()); }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

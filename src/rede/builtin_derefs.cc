@@ -163,7 +163,7 @@ class RetryingDereferencer final : public Dereferencer {
         for (auto& tuple : scratch) out->push_back(std::move(tuple));
         return Status::OK();
       }
-      if (!last.IsIOError()) return last;  // not transient: fail fast
+      if (!last.IsRetryable()) return last;  // not transient: fail fast
     }
     return last.WithContext("after " + std::to_string(max_attempts_) +
                             " attempts");

@@ -16,7 +16,9 @@ Engine::Engine(sim::Cluster* cluster, EngineOptions options)
     : cluster_(cluster),
       index_builder_(&catalog_),
       smpe_executor_(cluster, options.smpe),
-      partitioned_executor_(cluster) {
+      // Both execution modes share one retry policy, so ExecuteCollect
+      // comparisons across modes see identical failure semantics.
+      partitioned_executor_(cluster, options.smpe.retry) {
   LH_CHECK(cluster_ != nullptr);
 }
 

@@ -25,6 +25,13 @@ struct ExecMetricsCounters {
   std::atomic<uint64_t> output_tuples{0};
   std::atomic<int64_t> active_derefs{0};
   std::atomic<int64_t> peak_parallel_derefs{0};
+  /// Retry/backoff accounting (per-task Dereferencer retries on retryable
+  /// statuses; see RetryPolicy).
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> retry_backoff_us{0};
+  /// Tasks abandoned because the run failed: the task whose error was
+  /// recorded plus tasks drained without executing during fail-fast.
+  std::atomic<uint64_t> tasks_dropped_on_failure{0};
   /// One slot per job stage; constructed by the executor at run start.
   std::vector<StageCounters> per_stage;
 
@@ -54,6 +61,9 @@ struct ExecMetricsCounters {
     output_tuples = 0;
     active_derefs = 0;
     peak_parallel_derefs = 0;
+    retries = 0;
+    retry_backoff_us = 0;
+    tasks_dropped_on_failure = 0;
     for (auto& stage : per_stage) {
       stage.invocations = 0;
       stage.emitted = 0;
@@ -75,6 +85,9 @@ struct MetricsSnapshot {
   uint64_t broadcasts = 0;
   uint64_t output_tuples = 0;
   int64_t peak_parallel_derefs = 0;
+  uint64_t retries = 0;
+  uint64_t retry_backoff_us = 0;
+  uint64_t tasks_dropped_on_failure = 0;
   double wall_ms = 0.0;
   std::vector<StageSnapshot> per_stage;
 
@@ -86,6 +99,9 @@ struct MetricsSnapshot {
     s.broadcasts = c.broadcasts.load();
     s.output_tuples = c.output_tuples.load();
     s.peak_parallel_derefs = c.peak_parallel_derefs.load();
+    s.retries = c.retries.load();
+    s.retry_backoff_us = c.retry_backoff_us.load();
+    s.tasks_dropped_on_failure = c.tasks_dropped_on_failure.load();
     s.wall_ms = wall_ms;
     s.per_stage.reserve(c.per_stage.size());
     for (const auto& stage : c.per_stage) {

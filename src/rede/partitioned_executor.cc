@@ -13,6 +13,7 @@ namespace {
 struct WorkerShared {
   const Job* job;
   sim::Cluster* cluster;
+  RetryPolicy retry;
   ExecMetricsCounters metrics;
   std::mutex sink_mutex;
   const ResultSink* sink;
@@ -35,10 +36,25 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
   ExecContext ctx{node, shared.cluster, &shared.metrics};
   std::vector<Tuple> outs;
   if (fn.IsDereferencer()) {
-    shared.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
-    shared.metrics.EnterDeref();
-    Status status = fn.Execute(ctx, tuple, &outs);
-    shared.metrics.ExitDeref();
+    // Bounded per-invocation retry of retryable device failures, with the
+    // same exactly-once guarantee as SMPE: partial emissions of a failed
+    // attempt are discarded before re-executing.
+    Status status = RunWithRetry(
+        shared.retry,
+        [&]() -> Status {
+          outs.clear();
+          shared.metrics.deref_invocations.fetch_add(1,
+                                                     std::memory_order_relaxed);
+          shared.metrics.EnterDeref();
+          Status attempt = fn.Execute(ctx, tuple, &outs);
+          shared.metrics.ExitDeref();
+          return attempt;
+        },
+        [&](size_t, uint64_t backoff_us) {
+          shared.metrics.retries.fetch_add(1, std::memory_order_relaxed);
+          shared.metrics.retry_backoff_us.fetch_add(backoff_us,
+                                                    std::memory_order_relaxed);
+        });
     LH_RETURN_NOT_OK(status.WithContext(fn.name()));
   } else {
     shared.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -61,6 +77,7 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
   WorkerShared shared;
   shared.job = &job;
   shared.cluster = cluster_;
+  shared.retry = retry_;
   shared.sink = &sink;
   shared.metrics.InitStages(job.num_stages());
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/retry.h"
 #include "rede/executor.h"
 #include "sim/cluster.h"
 
@@ -13,20 +14,27 @@ namespace lakeharbor::rede {
 /// partitions depth-first, synchronously, with no fine-grained task
 /// decomposition. This is the conservative execution style the paper
 /// ascribes to existing structure-on-lake systems.
+///
+/// Shares the SMPE executor's failure semantics: retryable Dereferencer
+/// failures are retried per invocation under `retry` (with exponential
+/// backoff and discarded partial emissions); permanent errors fail fast.
 class PartitionedExecutor final : public Executor {
  public:
-  explicit PartitionedExecutor(sim::Cluster* cluster) : cluster_(cluster) {
+  explicit PartitionedExecutor(sim::Cluster* cluster, RetryPolicy retry = {})
+      : cluster_(cluster), retry_(retry) {
     LH_CHECK(cluster_ != nullptr);
   }
   LH_DISALLOW_COPY_AND_ASSIGN(PartitionedExecutor);
 
   const std::string& name() const override { return name_; }
+  const RetryPolicy& retry() const { return retry_; }
 
   StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
 
  private:
   std::string name_ = "rede-partitioned";
   sim::Cluster* cluster_;
+  RetryPolicy retry_;
 };
 
 }  // namespace lakeharbor::rede

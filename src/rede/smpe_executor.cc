@@ -1,6 +1,7 @@
 #include "rede/smpe_executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/clock.h"
@@ -63,6 +64,10 @@ SmpeExecutor::~SmpeExecutor() = default;
 void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
                            Task task) const {
   if (state.Failed()) {
+    // Fail-fast drain: another task recorded a permanent error, so this one
+    // is dropped unexecuted (it only balances the in-flight count).
+    state.metrics.tasks_dropped_on_failure.fetch_add(1,
+                                                     std::memory_order_relaxed);
     state.inflight.Done();
     return;
   }
@@ -70,16 +75,43 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
   ExecContext ctx{node, cluster_, &state.metrics};
   std::vector<Tuple> outs;
   Status status;
-  if (fn.IsDereferencer()) {
-    state.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
-    state.metrics.EnterDeref();
-    status = fn.Execute(ctx, task.tuple, &outs);
-    state.metrics.ExitDeref();
-  } else {
-    state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
-    status = fn.Execute(ctx, task.tuple, &outs);
+  size_t retry = 0;
+  for (;;) {
+    outs.clear();  // discard partial emissions of a failed attempt
+    if (fn.IsDereferencer()) {
+      state.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
+      state.metrics.EnterDeref();
+      status = fn.Execute(ctx, task.tuple, &outs);
+      state.metrics.ExitDeref();
+    } else {
+      state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
+      status = fn.Execute(ctx, task.tuple, &outs);
+    }
+    // Only Dereferencer failures can be transient (they touch devices);
+    // Referencer errors are logic errors and always fail fast. Stop
+    // retrying once some other task has already failed the job.
+    if (status.ok() || !fn.IsDereferencer() || !status.IsRetryable() ||
+        retry >= options_.retry.max_retries || state.Failed()) {
+      break;
+    }
+    ++retry;
+    const uint64_t backoff_us = options_.retry.BackoffUs(retry);
+    state.metrics.retries.fetch_add(1, std::memory_order_relaxed);
+    state.metrics.retry_backoff_us.fetch_add(backoff_us,
+                                             std::memory_order_relaxed);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
   }
   if (!status.ok()) {
+    if (retry > 0) {
+      // Retries exhausted: surface the original error, annotated with how
+      // hard we tried.
+      status = status.WithContext("after " + std::to_string(retry + 1) +
+                                  " attempts");
+    }
+    state.metrics.tasks_dropped_on_failure.fetch_add(1,
+                                                     std::memory_order_relaxed);
     state.RecordError(status, fn.name());
   } else {
     state.metrics.CountStage(task.stage, outs.size());
@@ -92,51 +124,83 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
                          std::vector<Tuple>&& tuples) const {
   state.metrics.tuples_emitted.fetch_add(tuples.size(),
                                          std::memory_order_relaxed);
-  if (next_stage >= state.job->num_stages()) {
-    for (const Tuple& tuple : tuples) state.Emit(tuple);
-    return;
+  // Explicit LIFO work stack instead of recursion: a chain of inline
+  // Referencers used to cascade via recursive Route calls, growing the call
+  // stack per stage per tuple; long Referencer chains (or wide fan-outs of
+  // single-tuple cascades) could overflow the thread stack.
+  struct Pending {
+    size_t stage;
+    Tuple tuple;
+  };
+  std::vector<Pending> work;
+  work.reserve(tuples.size());
+  for (auto it = tuples.rbegin(); it != tuples.rend(); ++it) {
+    work.push_back(Pending{next_stage, std::move(*it)});
   }
-  const StageFunction& next_fn = *state.job->stages()[next_stage];
-  for (Tuple& tuple : tuples) {
+  while (!work.empty()) {
     if (state.Failed()) return;
+    Pending pending = std::move(work.back());
+    work.pop_back();
+    if (pending.stage >= state.job->num_stages()) {
+      state.Emit(pending.tuple);
+      continue;
+    }
+    const StageFunction& next_fn = *state.job->stages()[pending.stage];
     if (!next_fn.IsDereferencer() && options_.inline_referencers) {
       // The paper's optimization: Referencers are lightweight, so run them
       // on the emitting thread instead of round-tripping through the queue.
       ExecContext ctx{node, cluster_, &state.metrics};
       std::vector<Tuple> outs;
       state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
-      Status status = next_fn.Execute(ctx, tuple, &outs);
+      Status status = next_fn.Execute(ctx, pending.tuple, &outs);
       if (!status.ok()) {
         state.RecordError(status, next_fn.name());
         return;
       }
-      state.metrics.CountStage(next_stage, outs.size());
-      Route(state, node, next_stage + 1, std::move(outs));
+      state.metrics.CountStage(pending.stage, outs.size());
+      state.metrics.tuples_emitted.fetch_add(outs.size(),
+                                             std::memory_order_relaxed);
+      for (auto it = outs.rbegin(); it != outs.rend(); ++it) {
+        work.push_back(Pending{pending.stage + 1, std::move(*it)});
+      }
       continue;
     }
-    if (next_fn.IsDereferencer() && !tuple.pointer.has_partition &&
-        !tuple.resolve_local && next_fn.WantsBroadcast()) {
+    if (next_fn.IsDereferencer() && !pending.tuple.pointer.has_partition &&
+        !pending.tuple.resolve_local && next_fn.WantsBroadcast()) {
       // Broadcast: replicate to every node's queue marked for local
       // resolution (Algorithm 1, lines 28-33).
       state.metrics.broadcasts.fetch_add(1, std::memory_order_relaxed);
-      size_t bytes = ApproxTupleBytes(tuple);
-      for (sim::NodeId m = 0; m < cluster_->num_nodes(); ++m) {
-        Status status = cluster_->ChargeMessage(node, m, bytes);
-        if (!status.ok()) {
-          state.RecordError(status, "broadcast");
-          return;
+      const size_t bytes = ApproxTupleBytes(pending.tuple);
+      const sim::NodeId last = cluster_->num_nodes() - 1;
+      for (sim::NodeId m = 0; m <= last; ++m) {
+        if (m != node) {
+          // The self-node replica is a local enqueue, not a message.
+          Status status = cluster_->ChargeMessage(node, m, bytes);
+          if (!status.ok()) {
+            state.RecordError(status, "broadcast");
+            return;
+          }
         }
-        Tuple copy = tuple;
+        // The last replica takes the tuple by move; only the first
+        // num_nodes-1 replicas pay a deep copy.
+        Tuple copy = (m == last) ? std::move(pending.tuple) : pending.tuple;
         copy.resolve_local = true;
         state.inflight.Add();
-        state.queues[m]->Push(Task{next_stage, std::move(copy)});
+        if (!state.queues[m]->Push(Task{pending.stage, std::move(copy)})) {
+          // Queue already closed (shutdown): the task will never run, so
+          // balance the in-flight count or AwaitZero() hangs forever.
+          state.inflight.Done();
+        }
       }
       continue;
     }
     // Keyed (or already-localized) tuple: the task stays on the emitting
     // node; its Dereferencer performs the possibly-remote fetch.
     state.inflight.Add();
-    state.queues[node]->Push(Task{next_stage, std::move(tuple)});
+    if (!state.queues[node]->Push(
+            Task{pending.stage, std::move(pending.tuple)})) {
+      state.inflight.Done();  // rejected enqueue: balance or deadlock
+    }
   }
 }
 
@@ -160,10 +224,17 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   for (uint32_t n = 0; n < num_nodes; ++n) {
     dispatchers.emplace_back([this, &state, n] {
       while (auto task = state.queues[n]->Pop()) {
-        pools_[n]->Submit(
+        bool submitted = pools_[n]->Submit(
             [this, &state, n, t = std::move(*task)]() mutable {
               RunTask(state, n, std::move(t));
             });
+        if (!submitted) {
+          // Pool shut down under us: the task will never run; balance the
+          // in-flight count registered at enqueue time or AwaitZero() hangs.
+          state.metrics.tasks_dropped_on_failure.fetch_add(
+              1, std::memory_order_relaxed);
+          state.inflight.Done();
+        }
       }
     });
   }
@@ -175,11 +246,11 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   if (initial.resolve_local) {
     state.inflight.Add(num_nodes);
     for (uint32_t n = 0; n < num_nodes; ++n) {
-      state.queues[n]->Push(Task{0, initial});
+      if (!state.queues[n]->Push(Task{0, initial})) state.inflight.Done();
     }
   } else {
     state.inflight.Add();
-    state.queues[0]->Push(Task{0, initial});
+    if (!state.queues[0]->Push(Task{0, initial})) state.inflight.Done();
   }
 
   state.inflight.AwaitZero();

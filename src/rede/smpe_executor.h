@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.h"
 #include "concurrent/inflight_tracker.h"
 #include "concurrent/mpmc_queue.h"
 #include "concurrent/thread_pool.h"
@@ -23,6 +24,15 @@ struct SmpeOptions {
   /// true, a Referencer runs inline on the thread that produced its input;
   /// when false, every Referencer invocation is a separate pool task.
   bool inline_referencers = true;
+
+  /// Per-task retry of Dereferencer failures whose Status is retryable
+  /// (kIoError / kUnavailable / kResourceExhausted): the failed invocation
+  /// is re-executed on the same thread after exponential backoff, and its
+  /// earlier partial emissions are discarded, so a retried task remains
+  /// exactly-once with respect to downstream stages. Permanent errors (and
+  /// exhausted retries) fail the job fast. Disabled by default — the
+  /// pre-existing fail-fast semantics.
+  RetryPolicy retry;
 };
 
 /// Scalable Massively Parallel Execution (Algorithm 1).

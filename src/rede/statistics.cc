@@ -5,7 +5,7 @@
 namespace lakeharbor::rede {
 
 StatusOr<EquiDepthHistogram> EquiDepthHistogram::Build(
-    io::PartitionedFile& index, size_t num_buckets) {
+    io::PartitionedFile& index, size_t num_buckets, const RetryPolicy& retry) {
   if (num_buckets == 0) {
     return Status::InvalidArgument("histogram needs at least one bucket");
   }
@@ -14,12 +14,16 @@ StatusOr<EquiDepthHistogram> EquiDepthHistogram::Build(
   std::vector<std::string> keys;
   keys.reserve(index.num_records());
   for (uint32_t p = 0; p < index.num_partitions(); ++p) {
-    LH_RETURN_NOT_OK(index.ScanPartitionKeyed(
-        index.NodeOfPartition(p), p,
-        [&](const std::string& key, const io::Record&) {
-          keys.push_back(key);
-          return true;
-        }));
+    const size_t keys_before = keys.size();
+    LH_RETURN_NOT_OK(RunWithRetry(retry, [&]() -> Status {
+      keys.resize(keys_before);  // drop the failed attempt's partial pass
+      return index.ScanPartitionKeyed(
+          index.NodeOfPartition(p), p,
+          [&](const std::string& key, const io::Record&) {
+            keys.push_back(key);
+            return true;
+          });
+    }));
   }
   EquiDepthHistogram histogram;
   histogram.total_ = keys.size();

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status_or.h"
 #include "io/partitioned_file.h"
 
@@ -21,9 +22,13 @@ namespace lakeharbor::rede {
 class EquiDepthHistogram {
  public:
   /// Scan `index` and build `num_buckets` equi-depth buckets. Charges one
-  /// sequential pass over every partition of the structure.
+  /// sequential pass over every partition of the structure. Statistics
+  /// builds are background maintenance, so a transient scan failure on one
+  /// partition is retried per `retry` (the partial partition pass is
+  /// discarded and re-scanned); the default policy keeps fail-fast.
   static StatusOr<EquiDepthHistogram> Build(io::PartitionedFile& index,
-                                            size_t num_buckets);
+                                            size_t num_buckets,
+                                            const RetryPolicy& retry = {});
 
   /// Estimated number of entries with lo <= key <= hi (inclusive).
   double EstimateMatches(const std::string& lo, const std::string& hi) const;

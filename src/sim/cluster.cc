@@ -2,11 +2,15 @@
 
 namespace lakeharbor::sim {
 
-Cluster::Cluster(ClusterOptions options) : options_(options) {
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), node_down_(options.num_nodes) {
   LH_CHECK_MSG(options.num_nodes > 0, "cluster needs at least one node");
   nodes_.reserve(options.num_nodes);
   for (NodeId id = 0; id < options.num_nodes; ++id) {
-    nodes_.push_back(std::make_unique<Node>(id, options.disk));
+    DiskOptions disk = options.disk;
+    // Independent per-node fault streams from one cluster-level seed.
+    disk.faults.seed = options.disk.faults.seed + id;
+    nodes_.push_back(std::make_unique<Node>(id, disk));
   }
   network_ = std::make_unique<Network>(options.network);
 }
@@ -42,6 +46,9 @@ Status Cluster::ChargeWrite(NodeId compute_node, NodeId storage_node,
 
 Status Cluster::ChargeMessage(NodeId from, NodeId to, size_t bytes) {
   if (from == to) return Status::OK();
+  if (NodeIsDown(from) || NodeIsDown(to)) {
+    return Status::Unavailable("message to/from node in outage window");
+  }
   return network_->Transfer(bytes);
 }
 
@@ -59,6 +66,24 @@ void Cluster::SetTimingEnabled(bool enabled) {
     node->disk().SetTimingEnabled(enabled);
   }
   network_->SetTimingEnabled(enabled);
+}
+
+void Cluster::ConfigureDiskFaults(const FaultOptions& faults) {
+  for (auto& node : nodes_) {
+    FaultOptions per_node = faults;
+    per_node.seed = faults.seed + node->id();
+    node->disk().ConfigureFaults(per_node);
+  }
+}
+
+void Cluster::ConfigureNetworkFaults(const FaultOptions& faults) {
+  network_->ConfigureFaults(faults);
+}
+
+void Cluster::SetNodeOutage(NodeId id, bool down) {
+  LH_CHECK(id < nodes_.size());
+  node_down_[id].store(down, std::memory_order_relaxed);
+  nodes_[id]->disk().SetOutage(down);
 }
 
 void Cluster::ResetStats() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -100,10 +101,29 @@ class Cluster {
   /// pay simulated latencies.
   void SetTimingEnabled(bool enabled);
 
+  /// Install the same probabilistic fault knobs on every node's disk and
+  /// rewind each deterministic fault stream (benches sweep the rate
+  /// between measured phases). Per-node disk seeds are derived from
+  /// `faults.seed` + node id so that nodes fault independently.
+  void ConfigureDiskFaults(const FaultOptions& faults);
+
+  /// Install fault knobs on the interconnect.
+  void ConfigureNetworkFaults(const FaultOptions& faults);
+
+  /// Toggle an outage window on one node: while down, its disk and every
+  /// message to or from it fail with kUnavailable — the whole-node failure
+  /// mode a production lake must survive.
+  void SetNodeOutage(NodeId id, bool down);
+  bool NodeIsDown(NodeId id) const {
+    LH_CHECK(id < node_down_.size());
+    return node_down_[id].load(std::memory_order_relaxed);
+  }
+
  private:
   ClusterOptions options_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Network> network_;
+  std::vector<std::atomic<bool>> node_down_;
 };
 
 }  // namespace lakeharbor::sim

@@ -7,9 +7,20 @@
 namespace lakeharbor::sim {
 
 Disk::Disk(DiskOptions options)
-    : options_(options), slots_(options.io_slots == 0 ? 1 : options.io_slots) {}
+    : options_(options),
+      slots_(options.io_slots == 0 ? 1 : options.io_slots),
+      injector_(options.faults) {}
 
-Status Disk::MaybeFault() {
+Status Disk::MaybeFault(double* latency_scale) {
+  FaultInjector::Decision decision = injector_.Assess("disk");
+  if (decision.faulted()) {
+    stats_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+    return decision.status;
+  }
+  if (decision.spiked()) {
+    stats_.injected_latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    if (latency_scale != nullptr) *latency_scale *= decision.latency_scale;
+  }
   uint64_t every = fault_every_.load(std::memory_order_relaxed);
   if (every != 0) {
     uint64_t op = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -36,10 +47,12 @@ void Disk::SleepUs(double us) const {
 }
 
 Status Disk::RandomRead(size_t bytes) {
-  LH_RETURN_NOT_OK(MaybeFault());
+  double latency_scale = 1.0;
+  LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
   if (options_.timing_enabled) {
     SemaphoreGuard guard(slots_);
-    SleepUs(static_cast<double>(options_.random_read_latency_us));
+    SleepUs(static_cast<double>(options_.random_read_latency_us) *
+            latency_scale);
   }
   stats_.random_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_random.fetch_add(bytes, std::memory_order_relaxed);
@@ -47,9 +60,11 @@ Status Disk::RandomRead(size_t bytes) {
 }
 
 Status Disk::SequentialRead(size_t bytes) {
-  LH_RETURN_NOT_OK(MaybeFault());
+  double latency_scale = 1.0;
+  LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
   size_t remaining = bytes;
   const double us_per_byte =
+      latency_scale *
       1e6 / static_cast<double>(options_.scan_bandwidth_bytes_per_sec);
   while (remaining > 0) {
     size_t chunk = std::min(remaining, options_.scan_chunk_bytes);
@@ -67,10 +82,12 @@ Status Disk::SequentialRead(size_t bytes) {
 }
 
 Status Disk::Write(size_t bytes) {
-  LH_RETURN_NOT_OK(MaybeFault());
+  double latency_scale = 1.0;
+  LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
   if (options_.timing_enabled) {
     SemaphoreGuard guard(slots_);
-    SleepUs(static_cast<double>(options_.random_read_latency_us));
+    SleepUs(static_cast<double>(options_.random_read_latency_us) *
+            latency_scale);
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "concurrent/semaphore.h"
+#include "sim/fault.h"
 #include "sim/resource_stats.h"
 
 namespace lakeharbor::sim {
@@ -30,6 +31,9 @@ struct DiskOptions {
   bool timing_enabled = false;
   /// Scale all simulated delays (0.1 = 10x faster than modeled).
   double time_scale = 1.0;
+  /// Deterministic, seeded fault injection (probabilistic kIoError /
+  /// kUnavailable plus latency spikes). Off by default.
+  FaultOptions faults;
 };
 
 /// A simulated disk: bounded-concurrency random reads with fixed service
@@ -62,6 +66,18 @@ class Disk {
 
   void ClearFault();
 
+  /// Install new probabilistic fault knobs at runtime and rewind the
+  /// deterministic fault stream (benches sweep the rate between phases;
+  /// tests replay a fixed seed). Independent of InjectFault{After,Every}.
+  void ConfigureFaults(const FaultOptions& faults) {
+    injector_.Configure(faults);
+  }
+
+  /// Outage window: while down, every operation fails with kUnavailable.
+  /// Toggled per node via Cluster::SetNodeOutage.
+  void SetOutage(bool down) { injector_.SetOutage(down); }
+  bool in_outage() const { return injector_.outage(); }
+
   /// Toggle timing simulation at runtime (counters always run). Benches
   /// load data untimed and enable timing only for the measured phase.
   void SetTimingEnabled(bool enabled) { options_.timing_enabled = enabled; }
@@ -71,13 +87,16 @@ class Disk {
   const DiskOptions& options() const { return options_; }
 
  private:
-  Status MaybeFault();
+  /// Draws the next operation's fate. On success, `*latency_scale` (when
+  /// non-null) is multiplied by any injected latency spike.
+  Status MaybeFault(double* latency_scale = nullptr);
   void SleepUs(double us) const;
 
   DiskOptions options_;
   Semaphore slots_;
   std::mutex scan_mutex_;  // scans are serialized per device (HDD-like)
   ResourceStats stats_;
+  FaultInjector injector_;
 
   std::atomic<bool> fault_armed_{false};
   std::atomic<int64_t> ops_until_fault_{0};

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// \file fault.h
+/// Deterministic, seeded fault injection for the simulated devices. Every
+/// device operation draws its fate from a counter-based hash stream
+/// (splitmix64 over the operation index), NOT from shared mutable RNG
+/// state: operation i of a device fails iff hash(seed, i) says so, so a
+/// fixed seed replays the exact same fault pattern — the property the
+/// failure-semantics tests rely on for deterministic replay.
+
+namespace lakeharbor::sim {
+
+/// Fault knobs of one device. All-zero (the default) injects nothing.
+struct FaultOptions {
+  /// Probability that an operation fails with an injected transient error.
+  double fault_rate = 0.0;
+  /// Share of injected faults surfacing as kUnavailable; the rest surface
+  /// as kIoError. Both are retryable (Status::IsRetryable).
+  double unavailable_fraction = 0.0;
+  /// Seed of the deterministic fault stream.
+  uint64_t seed = 0;
+  /// Probability that a (successful) operation suffers a latency spike.
+  double latency_spike_rate = 0.0;
+  /// Service-time multiplier of a spiked operation (timing mode only).
+  double latency_spike_multiplier = 10.0;
+
+  bool enabled() const {
+    return fault_rate > 0.0 || latency_spike_rate > 0.0;
+  }
+};
+
+/// The per-device injector. Thread-safe: concurrent operations draw
+/// distinct operation indexes from an atomic counter and hash them
+/// independently. Reconfiguring resets the operation stream (replay);
+/// an outage overrides everything with kUnavailable until lifted.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultOptions& options) { Configure(options); }
+
+  /// Install new knobs and rewind the operation stream to index 0, so a
+  /// fixed seed deterministically replays its fault pattern.
+  void Configure(const FaultOptions& options) {
+    fault_rate_.store(options.fault_rate, std::memory_order_relaxed);
+    unavailable_fraction_.store(options.unavailable_fraction,
+                                std::memory_order_relaxed);
+    seed_.store(options.seed, std::memory_order_relaxed);
+    spike_rate_.store(options.latency_spike_rate, std::memory_order_relaxed);
+    spike_multiplier_.store(options.latency_spike_multiplier,
+                            std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Hard outage window: while down, every operation fails kUnavailable.
+  void SetOutage(bool down) {
+    outage_.store(down, std::memory_order_relaxed);
+  }
+  bool outage() const { return outage_.load(std::memory_order_relaxed); }
+
+  /// What the injector decided for one device operation.
+  struct Decision {
+    Status status;                 ///< OK, or the injected failure
+    double latency_scale = 1.0;    ///< >1 when a latency spike was injected
+
+    bool faulted() const { return !status.ok(); }
+    bool spiked() const { return latency_scale > 1.0; }
+  };
+
+  /// Draw the fate of the next operation on `device` ("disk"/"network").
+  Decision Assess(const char* device) {
+    Decision decision;
+    if (outage_.load(std::memory_order_relaxed)) {
+      decision.status = Status::Unavailable(std::string(device) +
+                                            " outage: node is down");
+      return decision;
+    }
+    const double fault_rate = fault_rate_.load(std::memory_order_relaxed);
+    const double spike_rate = spike_rate_.load(std::memory_order_relaxed);
+    if (fault_rate <= 0.0 && spike_rate <= 0.0) return decision;
+
+    const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seed = seed_.load(std::memory_order_relaxed);
+    if (fault_rate > 0.0 && U01(Mix(seed, op, kFaultSalt)) < fault_rate) {
+      const bool unavailable =
+          U01(Mix(seed, op, kKindSalt)) <
+          unavailable_fraction_.load(std::memory_order_relaxed);
+      std::string msg = std::string("injected transient ") + device +
+                        " fault (op " + std::to_string(op) + ")";
+      decision.status = unavailable ? Status::Unavailable(std::move(msg))
+                                    : Status::IOError(std::move(msg));
+      return decision;
+    }
+    if (spike_rate > 0.0 && U01(Mix(seed, op, kSpikeSalt)) < spike_rate) {
+      decision.latency_scale =
+          spike_multiplier_.load(std::memory_order_relaxed);
+    }
+    return decision;
+  }
+
+ private:
+  static constexpr uint64_t kFaultSalt = 0x9e3779b97f4a7c15ULL;
+  static constexpr uint64_t kKindSalt = 0xbf58476d1ce4e5b9ULL;
+  static constexpr uint64_t kSpikeSalt = 0x94d049bb133111ebULL;
+
+  /// splitmix64 finalizer over (seed, op, salt).
+  static uint64_t Mix(uint64_t seed, uint64_t op, uint64_t salt) {
+    uint64_t x = seed ^ (op * 0xd1342543de82ef95ULL) ^ salt;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform double in [0, 1) from the top 53 bits of a hash.
+  static double U01(uint64_t h) {
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  std::atomic<double> fault_rate_{0.0};
+  std::atomic<double> unavailable_fraction_{0.0};
+  std::atomic<uint64_t> seed_{0};
+  std::atomic<double> spike_rate_{0.0};
+  std::atomic<double> spike_multiplier_{10.0};
+  std::atomic<bool> outage_{false};
+  std::atomic<uint64_t> ops_{0};
+};
+
+}  // namespace lakeharbor::sim

@@ -6,11 +6,19 @@
 namespace lakeharbor::sim {
 
 Status Network::Transfer(size_t bytes) {
+  FaultInjector::Decision decision = injector_.Assess("network");
+  if (decision.faulted()) {
+    stats_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+    return decision.status;
+  }
+  if (decision.spiked()) {
+    stats_.injected_latency_spikes.fetch_add(1, std::memory_order_relaxed);
+  }
   if (options_.timing_enabled) {
     double us = static_cast<double>(options_.message_latency_us) +
                 static_cast<double>(bytes) * 1e6 /
                     static_cast<double>(options_.bandwidth_bytes_per_sec);
-    us *= options_.time_scale;
+    us *= options_.time_scale * decision.latency_scale;
     if (us >= 1.0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<int64_t>(us)));

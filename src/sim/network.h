@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "sim/fault.h"
 #include "sim/resource_stats.h"
 
 namespace lakeharbor::sim {
@@ -15,6 +16,9 @@ struct NetworkOptions {
   uint64_t bandwidth_bytes_per_sec = 1250ull * 1024 * 1024;
   bool timing_enabled = false;
   double time_scale = 1.0;
+  /// Deterministic, seeded fault injection (probabilistic kUnavailable /
+  /// kIoError dropped transfers plus latency spikes). Off by default.
+  FaultOptions faults;
 };
 
 /// A simple full-bisection network model: every cross-node record transfer
@@ -23,10 +27,22 @@ struct NetworkOptions {
 /// access pattern the paper targets.
 class Network {
  public:
-  explicit Network(NetworkOptions options) : options_(options) {}
+  explicit Network(NetworkOptions options)
+      : options_(options), injector_(options.faults) {}
 
-  /// Model moving `bytes` between two distinct nodes.
+  /// Model moving `bytes` between two distinct nodes. Fault injection may
+  /// fail the transfer (a dropped/timed-out message).
   Status Transfer(size_t bytes);
+
+  /// Install new probabilistic fault knobs at runtime and rewind the
+  /// deterministic fault stream.
+  void ConfigureFaults(const FaultOptions& faults) {
+    injector_.Configure(faults);
+  }
+
+  /// Interconnect-wide outage: every transfer fails with kUnavailable.
+  void SetOutage(bool down) { injector_.SetOutage(down); }
+  bool in_outage() const { return injector_.outage(); }
 
   const ResourceStats& stats() const { return stats_; }
   ResourceStats& mutable_stats() { return stats_; }
@@ -38,6 +54,7 @@ class Network {
  private:
   NetworkOptions options_;
   ResourceStats stats_;
+  FaultInjector injector_;
 };
 
 }  // namespace lakeharbor::sim

@@ -18,6 +18,7 @@ struct ResourceStats {
   std::atomic<uint64_t> network_messages{0};
   std::atomic<uint64_t> network_bytes{0};
   std::atomic<uint64_t> injected_faults{0};
+  std::atomic<uint64_t> injected_latency_spikes{0};
 
   void Reset() {
     random_reads = 0;
@@ -29,6 +30,7 @@ struct ResourceStats {
     network_messages = 0;
     network_bytes = 0;
     injected_faults = 0;
+    injected_latency_spikes = 0;
   }
 
 };
@@ -45,6 +47,7 @@ struct ResourceTotals {
   uint64_t network_messages = 0;
   uint64_t network_bytes = 0;
   uint64_t injected_faults = 0;
+  uint64_t injected_latency_spikes = 0;
 
   void Merge(const ResourceStats& other) {
     random_reads += other.random_reads.load();
@@ -56,6 +59,7 @@ struct ResourceTotals {
     network_messages += other.network_messages.load();
     network_bytes += other.network_bytes.load();
     injected_faults += other.injected_faults.load();
+    injected_latency_spikes += other.injected_latency_spikes.load();
   }
 };
 
