@@ -24,13 +24,15 @@ class InflightTracker {
   }
 
   void Done(int64_t n = 1) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     count_ -= n;
     LH_CHECK_MSG(count_ >= 0, "InflightTracker underflow");
-    if (count_ == 0) {
-      lock.unlock();
-      cv_.notify_all();
-    }
+    // Notify while still holding the mutex: the waiter in AwaitZero() often
+    // destroys this tracker as soon as it observes zero, and it cannot
+    // re-acquire the mutex (and return) until this thread has finished
+    // notifying and released it. Unlock-then-notify would let destruction
+    // race the notify_all call on the dead condition variable.
+    if (count_ == 0) cv_.notify_all();
   }
 
   /// Blocks until the in-flight count reaches zero.

@@ -16,6 +16,8 @@ struct AccessStats {
   std::atomic<uint64_t> records_scanned{0}; ///< records visited by scans
   std::atomic<uint64_t> appends{0};         ///< records loaded/written
   std::atomic<uint64_t> bloom_skips{0};     ///< partition probes avoided
+  std::atomic<uint64_t> batched_gets{0};    ///< GetBatchInPartition calls
+  std::atomic<uint64_t> batched_keys{0};    ///< keys resolved by batch gets
 
   uint64_t record_accesses() const {
     return records_read.load() + records_scanned.load();
@@ -29,6 +31,8 @@ struct AccessStats {
     records_scanned = 0;
     appends = 0;
     bloom_skips = 0;
+    batched_gets = 0;
+    batched_keys = 0;
   }
 };
 

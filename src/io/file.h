@@ -59,6 +59,19 @@ class File {
                                 const std::string& key,
                                 std::vector<Record>* out) = 0;
 
+  /// Resolve many in-partition keys of ONE partition in a single fused
+  /// device operation. `out` is resized to `keys.size()`; slot i receives
+  /// the records matching keys[i] (possibly empty — not an error). The base
+  /// implementation degrades to a per-key GetInPartition loop; files that
+  /// can fuse the descent (PartitionedFile / BtreeFile) override it to
+  /// charge one batch read instead of keys.size() random reads. On error,
+  /// `out` contents are unspecified — callers must treat the whole batch as
+  /// unread (this is what lets executor retries re-issue it safely).
+  virtual Status GetBatchInPartition(sim::NodeId compute_node,
+                                     uint32_t partition,
+                                     const std::vector<std::string>& keys,
+                                     std::vector<std::vector<Record>>* out);
+
   /// Range lookups are only supported by BtreeFile.
   virtual Status GetRangeInPartition(sim::NodeId compute_node,
                                      uint32_t partition, const std::string& lo,

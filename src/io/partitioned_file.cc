@@ -93,6 +93,50 @@ Status PartitionedFile::GetInPartition(sim::NodeId compute_node,
   return ChargeLookup(compute_node, partition, bytes, found);
 }
 
+Status File::GetBatchInPartition(sim::NodeId compute_node, uint32_t partition,
+                                 const std::vector<std::string>& keys,
+                                 std::vector<std::vector<Record>>* out) {
+  out->clear();
+  out->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    LH_RETURN_NOT_OK(
+        GetInPartition(compute_node, partition, keys[i], &(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status PartitionedFile::GetBatchInPartition(
+    sim::NodeId compute_node, uint32_t partition,
+    const std::vector<std::string>& keys,
+    std::vector<std::vector<Record>>* out) {
+  LH_RETURN_NOT_OK(CheckSealed());
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  out->clear();
+  out->resize(keys.size());
+  if (keys.empty()) return Status::OK();
+  const Partition& p = partitions_[partition];
+  size_t bytes = 0;
+  size_t found = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    p.tree->Get(keys[i], &(*out)[i]);
+    found += (*out)[i].size();
+    for (const Record& r : (*out)[i]) bytes += r.size();
+  }
+  // Charge BEFORE exposing results as read: if the fused device operation
+  // faults, the caller sees an error and must discard `out` wholesale.
+  sim::NodeId storage_node = NodeOfPartition(partition);
+  LH_RETURN_NOT_OK(cluster_->ChargeBatchRead(compute_node, storage_node,
+                                             keys.size(),
+                                             std::max(bytes, kMinProbeBytes)));
+  access_stats_.batched_gets.fetch_add(1, std::memory_order_relaxed);
+  access_stats_.batched_keys.fetch_add(keys.size(), std::memory_order_relaxed);
+  access_stats_.records_read.fetch_add(found, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status PartitionedFile::ScanPartition(sim::NodeId compute_node,
                                       uint32_t partition,
                                       const RecordVisitor& visit) {

@@ -42,6 +42,13 @@ class PartitionedFile : public File {
   Status GetInPartition(sim::NodeId compute_node, uint32_t partition,
                         const std::string& key,
                         std::vector<Record>* out) override;
+
+  /// Fused multi-key probe: one B-tree descent amortized over every key of
+  /// the batch, charged as a single batch read (one seek plus cheap
+  /// follow-ups) instead of keys.size() random reads.
+  Status GetBatchInPartition(sim::NodeId compute_node, uint32_t partition,
+                             const std::vector<std::string>& keys,
+                             std::vector<std::vector<Record>>* out) override;
   Status ScanPartition(sim::NodeId compute_node, uint32_t partition,
                        const RecordVisitor& visit) override;
 

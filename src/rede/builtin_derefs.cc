@@ -1,7 +1,11 @@
 #include "rede/builtin_derefs.h"
 
+#include <map>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "rede/record_cache.h"
 
 namespace lakeharbor::rede {
 
@@ -34,6 +38,12 @@ class PointDereferencer final : public Dereferencer {
     LH_CHECK(file_ != nullptr);
   }
 
+  bool SupportsBatchedDereference() const override { return true; }
+
+  uint32_t PartitionOfPointer(const io::Pointer& ptr) const override {
+    return file_->partitioner().PartitionOf(ptr.partition_key);
+  }
+
   Status Execute(const ExecContext& ctx, const Tuple& input,
                  std::vector<Tuple>* out) const override {
     if (input.is_range) {
@@ -43,7 +53,9 @@ class PointDereferencer final : public Dereferencer {
     }
     std::vector<io::Record> fetched;
     if (input.pointer.has_partition) {
-      LH_RETURN_NOT_OK(file_->Get(ctx.node, input.pointer, &fetched));
+      uint32_t partition = PartitionOfPointer(input.pointer);
+      LH_RETURN_NOT_OK(
+          FetchOne(ctx, partition, input.pointer.key, &fetched));
     } else {
       // Broadcast pointer. Under SMPE the executor replicated this tuple to
       // every node and marked it resolve_local, so we consult only the
@@ -62,8 +74,7 @@ class PointDereferencer final : public Dereferencer {
               1, std::memory_order_relaxed);
           continue;
         }
-        LH_RETURN_NOT_OK(
-            file_->GetInPartition(ctx.node, p, input.pointer.key, &fetched));
+        LH_RETURN_NOT_OK(FetchOne(ctx, p, input.pointer.key, &fetched));
       }
     }
     for (const io::Record& record : fetched) {
@@ -72,7 +83,118 @@ class PointDereferencer final : public Dereferencer {
     return Status::OK();
   }
 
+  Status ExecuteBatch(const ExecContext& ctx, const std::vector<Tuple>& inputs,
+                      std::vector<Tuple>* out) const override {
+    // The executor only batches keyed point tuples, but a direct caller
+    // might not: anything else degrades to the per-tuple loop.
+    for (const Tuple& t : inputs) {
+      if (t.is_range || !t.pointer.has_partition) {
+        return StageFunction::ExecuteBatch(ctx, inputs, out);
+      }
+    }
+    if (inputs.empty()) return Status::OK();
+    RecordCache* cache = ctx.record_cache;
+
+    // Resolve each DISTINCT (partition, key) once; duplicate pointers in the
+    // batch share the result. Cache hits are pinned for the duration of the
+    // call so concurrent evictions cannot churn the working set mid-batch.
+    using LookupKey = std::pair<uint32_t, std::string>;
+    std::map<LookupKey, std::vector<io::Record>> resolved;
+    std::map<uint32_t, std::vector<std::string>> missing;  // per partition
+    std::vector<std::string> pinned;
+    for (const Tuple& input : inputs) {
+      uint32_t partition = PartitionOfPointer(input.pointer);
+      LookupKey lk{partition, input.pointer.key};
+      if (resolved.count(lk) != 0) continue;
+      if (cache != nullptr) {
+        std::string ck =
+            RecordCache::MakeKey(file_->name(), partition, input.pointer.key);
+        if (auto hit = cache->Lookup(ck)) {
+          resolved.emplace(std::move(lk), std::move(*hit));
+          if (cache->Pin(ck)) pinned.push_back(std::move(ck));
+          continue;
+        }
+      }
+      resolved.emplace(std::move(lk), std::vector<io::Record>{});
+      missing[partition].push_back(input.pointer.key);
+    }
+
+    // Entries admitted by THIS call, invalidated wholesale if a later
+    // partition's read fails: the executor's retry must re-read the whole
+    // batch, never observe (or double-admit) a partial one.
+    std::vector<std::string> admitted;
+    auto unwind = [&](const Status& error) {
+      for (const std::string& ck : admitted) cache->Invalidate(ck);
+      for (const std::string& ck : pinned) cache->Unpin(ck);
+      return error;
+    };
+    for (auto& [partition, keys] : missing) {
+      std::vector<std::vector<io::Record>> results;
+      Status read =
+          file_->GetBatchInPartition(ctx.node, partition, keys, &results);
+      if (!read.ok()) return unwind(read);
+      LH_CHECK(results.size() == keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (cache != nullptr) {
+          std::string ck =
+              RecordCache::MakeKey(file_->name(), partition, keys[i]);
+          if (cache->StartAdmission(ck)) {
+            cache->CommitAdmission(ck, results[i]);
+            admitted.push_back(std::move(ck));
+          }
+        }
+        resolved[LookupKey{partition, keys[i]}] = std::move(results[i]);
+      }
+    }
+
+    for (const Tuple& input : inputs) {
+      const std::vector<io::Record>& fetched =
+          resolved[LookupKey{PartitionOfPointer(input.pointer),
+                             input.pointer.key}];
+      for (const io::Record& record : fetched) {
+        Status emit = EmitFetched(input, record, filter_, out);
+        // Emission failures (filter errors) are permanent, not transient:
+        // keep the admitted entries (the reads succeeded) but drop pins.
+        if (!emit.ok()) {
+          for (const std::string& ck : pinned) cache->Unpin(ck);
+          return emit;
+        }
+      }
+    }
+    if (cache != nullptr) {
+      for (const std::string& ck : pinned) cache->Unpin(ck);
+    }
+    return Status::OK();
+  }
+
  private:
+  /// Probe one partition for `key`, consulting the record cache when the
+  /// context carries one. Admission is two-phase (reserve → read → commit or
+  /// abort) so a concurrent admitter of the same key cannot double-admit.
+  Status FetchOne(const ExecContext& ctx, uint32_t partition,
+                  const std::string& key,
+                  std::vector<io::Record>* fetched) const {
+    RecordCache* cache = ctx.record_cache;
+    if (cache == nullptr) {
+      return file_->GetInPartition(ctx.node, partition, key, fetched);
+    }
+    std::string ck = RecordCache::MakeKey(file_->name(), partition, key);
+    if (auto hit = cache->Lookup(ck)) {
+      fetched->insert(fetched->end(), hit->begin(), hit->end());
+      return Status::OK();
+    }
+    const bool admitting = cache->StartAdmission(ck);
+    std::vector<io::Record> read;
+    Status status = file_->GetInPartition(ctx.node, partition, key, &read);
+    if (!status.ok()) {
+      if (admitting) cache->AbortAdmission(ck);
+      return status;
+    }
+    if (admitting) cache->CommitAdmission(ck, read);
+    fetched->insert(fetched->end(), read.begin(), read.end());
+    return status;
+  }
+
   std::shared_ptr<io::File> file_;
   Filter filter_;
   std::shared_ptr<const index::PartitionBloom> bloom_;
@@ -153,6 +275,14 @@ class RetryingDereferencer final : public Dereferencer {
 
   bool WantsBroadcast() const override { return inner_->WantsBroadcast(); }
 
+  bool SupportsBatchedDereference() const override {
+    return inner_->SupportsBatchedDereference();
+  }
+
+  uint32_t PartitionOfPointer(const io::Pointer& ptr) const override {
+    return inner_->PartitionOfPointer(ptr);
+  }
+
   Status Execute(const ExecContext& ctx, const Tuple& input,
                  std::vector<Tuple>* out) const override {
     Status last;
@@ -164,6 +294,24 @@ class RetryingDereferencer final : public Dereferencer {
         return Status::OK();
       }
       if (!last.IsRetryable()) return last;  // not transient: fail fast
+    }
+    return last.WithContext("after " + std::to_string(max_attempts_) +
+                            " attempts");
+  }
+
+  Status ExecuteBatch(const ExecContext& ctx, const std::vector<Tuple>& inputs,
+                      std::vector<Tuple>* out) const override {
+    // The inner batch already invalidates its own partial cache admissions
+    // on failure, so each retry re-reads from a clean slate.
+    Status last;
+    for (size_t attempt = 0; attempt < max_attempts_; ++attempt) {
+      std::vector<Tuple> scratch;
+      last = inner_->ExecuteBatch(ctx, inputs, &scratch);
+      if (last.ok()) {
+        for (auto& tuple : scratch) out->push_back(std::move(tuple));
+        return Status::OK();
+      }
+      if (!last.IsRetryable()) return last;
     }
     return last.WithContext("after " + std::to_string(max_attempts_) +
                             " attempts");

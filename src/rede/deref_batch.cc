@@ -1,0 +1,40 @@
+#include "rede/deref_batch.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lakeharbor::rede {
+
+std::vector<PointerBatch> CoalesceByPartition(std::vector<Tuple> tuples,
+                                              const StageFunction& stage_fn,
+                                              size_t max_batch_size) {
+  LH_CHECK_MSG(max_batch_size >= 1, "max_batch_size must be >= 1");
+  // std::map keeps partitions sorted so the emitted batch sequence is a
+  // pure function of the input — required for deterministic replay.
+  std::map<uint32_t, std::vector<Tuple>> by_partition;
+  for (Tuple& tuple : tuples) {
+    LH_CHECK_MSG(!tuple.is_range && tuple.pointer.has_partition,
+                 "only keyed point tuples can be coalesced");
+    uint32_t partition = stage_fn.PartitionOfPointer(tuple.pointer);
+    by_partition[partition].push_back(std::move(tuple));
+  }
+  std::vector<PointerBatch> batches;
+  for (auto& [partition, group] : by_partition) {
+    for (size_t start = 0; start < group.size(); start += max_batch_size) {
+      PointerBatch batch;
+      batch.partition = partition;
+      size_t end = std::min(group.size(), start + max_batch_size);
+      batch.tuples.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.tuples.push_back(std::move(group[i]));
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+  return batches;
+}
+
+}  // namespace lakeharbor::rede

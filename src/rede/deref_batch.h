@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rede/stage_function.h"
+#include "rede/tuple.h"
+
+namespace lakeharbor::rede {
+
+/// A group of keyed point tuples that resolve in the same partition of a
+/// batchable dereferencer's target file — the unit the SMPE executor
+/// enqueues as one Task when batching is enabled.
+struct PointerBatch {
+  uint32_t partition = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// Group `tuples` (all keyed point tuples destined for `stage_fn`) by
+/// stage_fn.PartitionOfPointer() and split each group into batches of at
+/// most `max_batch_size` (>= 1). Batches come out in ascending partition
+/// order, preserving input order within a partition — deterministic, so
+/// seeded-schedule runs replay exactly.
+std::vector<PointerBatch> CoalesceByPartition(std::vector<Tuple> tuples,
+                                              const StageFunction& stage_fn,
+                                              size_t max_batch_size);
+
+}  // namespace lakeharbor::rede

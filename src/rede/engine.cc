@@ -16,9 +16,10 @@ Engine::Engine(sim::Cluster* cluster, EngineOptions options)
     : cluster_(cluster),
       index_builder_(&catalog_),
       smpe_executor_(cluster, options.smpe),
-      // Both execution modes share one retry policy, so ExecuteCollect
-      // comparisons across modes see identical failure semantics.
-      partitioned_executor_(cluster, options.smpe.retry) {
+      // Both execution modes share one retry policy and cache config, so
+      // ExecuteCollect comparisons across modes see identical failure and
+      // caching semantics (each executor still owns a separate cache).
+      partitioned_executor_(cluster, options.smpe.retry, options.smpe.cache) {
   LH_CHECK(cluster_ != nullptr);
 }
 

@@ -32,6 +32,17 @@ struct ExecMetricsCounters {
   /// Tasks abandoned because the run failed: the task whose error was
   /// recorded plus tasks drained without executing during fail-fast.
   std::atomic<uint64_t> tasks_dropped_on_failure{0};
+  /// Dereference batching: fused ExecuteBatch dispatches and the pointers
+  /// they carried (singleton tasks are not counted as batches).
+  std::atomic<uint64_t> deref_batches{0};
+  std::atomic<uint64_t> deref_batched_pointers{0};
+  /// Record-cache activity attributed to this run (executors snapshot the
+  /// cache's monotonic counters around Execute and add the delta here).
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> cache_admissions{0};
+  std::atomic<uint64_t> cache_evictions{0};
+  std::atomic<uint64_t> cache_invalidations{0};
   /// One slot per job stage; constructed by the executor at run start.
   std::vector<StageCounters> per_stage;
 
@@ -64,6 +75,13 @@ struct ExecMetricsCounters {
     retries = 0;
     retry_backoff_us = 0;
     tasks_dropped_on_failure = 0;
+    deref_batches = 0;
+    deref_batched_pointers = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_admissions = 0;
+    cache_evictions = 0;
+    cache_invalidations = 0;
     for (auto& stage : per_stage) {
       stage.invocations = 0;
       stage.emitted = 0;
@@ -88,6 +106,13 @@ struct MetricsSnapshot {
   uint64_t retries = 0;
   uint64_t retry_backoff_us = 0;
   uint64_t tasks_dropped_on_failure = 0;
+  uint64_t deref_batches = 0;
+  uint64_t deref_batched_pointers = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_admissions = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
   double wall_ms = 0.0;
   std::vector<StageSnapshot> per_stage;
 
@@ -102,6 +127,13 @@ struct MetricsSnapshot {
     s.retries = c.retries.load();
     s.retry_backoff_us = c.retry_backoff_us.load();
     s.tasks_dropped_on_failure = c.tasks_dropped_on_failure.load();
+    s.deref_batches = c.deref_batches.load();
+    s.deref_batched_pointers = c.deref_batched_pointers.load();
+    s.cache_hits = c.cache_hits.load();
+    s.cache_misses = c.cache_misses.load();
+    s.cache_admissions = c.cache_admissions.load();
+    s.cache_evictions = c.cache_evictions.load();
+    s.cache_invalidations = c.cache_invalidations.load();
     s.wall_ms = wall_ms;
     s.per_stage.reserve(c.per_stage.size());
     for (const auto& stage : c.per_stage) {

@@ -14,6 +14,7 @@ struct WorkerShared {
   const Job* job;
   sim::Cluster* cluster;
   RetryPolicy retry;
+  RecordCache* cache = nullptr;
   ExecMetricsCounters metrics;
   std::mutex sink_mutex;
   const ResultSink* sink;
@@ -33,7 +34,7 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
     return Status::OK();
   }
   const StageFunction& fn = *shared.job->stages()[stage];
-  ExecContext ctx{node, shared.cluster, &shared.metrics};
+  ExecContext ctx{node, shared.cluster, &shared.metrics, shared.cache};
   std::vector<Tuple> outs;
   if (fn.IsDereferencer()) {
     // Bounded per-invocation retry of retryable device failures, with the
@@ -78,8 +79,11 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
   shared.job = &job;
   shared.cluster = cluster_;
   shared.retry = retry_;
+  shared.cache = cache_.get();
   shared.sink = &sink;
   shared.metrics.InitStages(job.num_stages());
+  RecordCacheStats cache_before;
+  if (cache_ != nullptr) cache_before = cache_->stats();
 
   const Tuple& initial = job.initial_input();
   std::vector<Status> statuses;
@@ -99,6 +103,17 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
       });
     }
     for (auto& worker : workers) worker.join();
+  }
+  if (cache_ != nullptr) {
+    RecordCacheStats after = cache_->stats();
+    shared.metrics.cache_hits.fetch_add(after.hits - cache_before.hits);
+    shared.metrics.cache_misses.fetch_add(after.misses - cache_before.misses);
+    shared.metrics.cache_admissions.fetch_add(after.admissions -
+                                              cache_before.admissions);
+    shared.metrics.cache_evictions.fetch_add(after.evictions -
+                                             cache_before.evictions);
+    shared.metrics.cache_invalidations.fetch_add(after.invalidations -
+                                                 cache_before.invalidations);
   }
   for (const Status& status : statuses) {
     LH_RETURN_NOT_OK(status);

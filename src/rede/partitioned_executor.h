@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/retry.h"
 #include "rede/executor.h"
+#include "rede/record_cache.h"
 #include "sim/cluster.h"
 
 namespace lakeharbor::rede {
@@ -20,14 +22,19 @@ namespace lakeharbor::rede {
 /// backoff and discarded partial emissions); permanent errors fail fast.
 class PartitionedExecutor final : public Executor {
  public:
-  explicit PartitionedExecutor(sim::Cluster* cluster, RetryPolicy retry = {})
+  explicit PartitionedExecutor(sim::Cluster* cluster, RetryPolicy retry = {},
+                               RecordCacheOptions cache = {})
       : cluster_(cluster), retry_(retry) {
     LH_CHECK(cluster_ != nullptr);
+    if (cache.enabled) cache_ = std::make_unique<RecordCache>(cache);
   }
   LH_DISALLOW_COPY_AND_ASSIGN(PartitionedExecutor);
 
   const std::string& name() const override { return name_; }
   const RetryPolicy& retry() const { return retry_; }
+
+  /// The executor's record cache, or nullptr when caching is disabled.
+  RecordCache* record_cache() const { return cache_.get(); }
 
   StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
 
@@ -35,6 +42,7 @@ class PartitionedExecutor final : public Executor {
   std::string name_ = "rede-partitioned";
   sim::Cluster* cluster_;
   RetryPolicy retry_;
+  std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
 };
 
 }  // namespace lakeharbor::rede

@@ -1,0 +1,215 @@
+#include "rede/record_cache.h"
+
+#include <functional>
+
+namespace lakeharbor::rede {
+
+RecordCache::RecordCache(RecordCacheOptions options)
+    : options_(options),
+      shards_(options.shards == 0 ? 1 : options.shards) {
+  if (options_.shards == 0) options_.shards = 1;
+  shard_budget_ = options_.byte_budget / shards_.size();
+  if (shard_budget_ == 0) shard_budget_ = 1;
+}
+
+std::string RecordCache::MakeKey(const std::string& file_name,
+                                 uint32_t partition, const std::string& key) {
+  // '\x1f' (unit separator) cannot collide with partition digits and is not
+  // produced by the key codec, so distinct (file, partition, key) triples
+  // map to distinct cache keys.
+  std::string out;
+  out.reserve(file_name.size() + key.size() + 12);
+  out.append(file_name);
+  out.push_back('\x1f');
+  out.append(std::to_string(partition));
+  out.push_back('\x1f');
+  out.append(key);
+  return out;
+}
+
+RecordCache::Shard& RecordCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const RecordCache::Shard& RecordCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+size_t RecordCache::EntryBytes(const std::string& key,
+                               const std::vector<io::Record>& records) const {
+  size_t bytes = key.size() + options_.entry_overhead_bytes;
+  for (const io::Record& r : records) bytes += r.size();
+  return bytes;
+}
+
+std::optional<std::vector<io::Record>> RecordCache::Lookup(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->records;
+}
+
+bool RecordCache::StartAdmission(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.count(key) != 0) return false;
+  return shard.pending.insert(key).second;
+}
+
+void RecordCache::CommitAdmission(const std::string& key,
+                                  std::vector<io::Record> records) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  LH_CHECK_MSG(shard.pending.erase(key) == 1,
+               "CommitAdmission without StartAdmission");
+  // Invalidate-then-readmit races are legal; a resident duplicate is not
+  // (StartAdmission refuses resident keys, and the reservation blocks
+  // concurrent admitters).
+  LH_CHECK_MSG(shard.map.count(key) == 0,
+               "key became resident while reserved");
+  size_t entry_bytes = EntryBytes(key, records);
+  if (entry_bytes > shard_budget_) {
+    rejected_admissions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(records), entry_bytes, 0});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += entry_bytes;
+  admissions_.fetch_add(1, std::memory_order_relaxed);
+  EvictIfNeeded(shard);
+}
+
+void RecordCache::AbortAdmission(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  LH_CHECK_MSG(shard.pending.erase(key) == 1,
+               "AbortAdmission without StartAdmission");
+  aborted_admissions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool RecordCache::Pin(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  ++it->second->pins;
+  return true;
+}
+
+void RecordCache::Unpin(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  // The entry may have been invalidated while pinned (and possibly even
+  // re-admitted with zero pins): pins are advisory residency hints, so a
+  // dangling Unpin is ignored rather than treated as corruption.
+  if (it == shard.map.end() || it->second->pins == 0) return;
+  --it->second->pins;
+}
+
+bool RecordCache::Invalidate(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RecordCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+size_t RecordCache::entries() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+size_t RecordCache::bytes() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.bytes;
+  }
+  return n;
+}
+
+size_t RecordCache::inflight() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.pending.size();
+  }
+  return n;
+}
+
+RecordCacheStats RecordCache::stats() const {
+  RecordCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.admissions = admissions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.aborted_admissions = aborted_admissions_.load(std::memory_order_relaxed);
+  s.rejected_admissions = rejected_admissions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool RecordCache::CheckConsistency() const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.size() != shard.lru.size()) return false;
+    size_t bytes = 0;
+    for (const Entry& e : shard.lru) {
+      auto it = shard.map.find(e.key);
+      if (it == shard.map.end() || &*it->second != &e) return false;
+      if (shard.pending.count(e.key) != 0) return false;  // resident+reserved
+      bytes += e.bytes;
+    }
+    if (bytes != shard.bytes) return false;
+    if (shard.bytes > shard_budget_ &&
+        // over budget is only legal when everything left is pinned
+        [&] {
+          for (const Entry& e : shard.lru) {
+            if (e.pins == 0) return true;
+          }
+          return false;
+        }()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RecordCache::EvictIfNeeded(Shard& shard) {
+  auto it = shard.lru.end();
+  while (shard.bytes > shard_budget_ && it != shard.lru.begin()) {
+    --it;
+    if (it->pins > 0) continue;  // pinned entries are eviction-exempt
+    shard.bytes -= it->bytes;
+    shard.map.erase(it->key);
+    it = shard.lru.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lakeharbor::rede

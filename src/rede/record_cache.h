@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/macros.h"
+#include "io/record.h"
+
+namespace lakeharbor::rede {
+
+/// Knobs for the node-local record cache. Off by default so existing
+/// executor semantics (fail-fast, retry exactly-once emission) are
+/// unchanged unless a job opts in.
+struct RecordCacheOptions {
+  bool enabled = false;
+  /// Total byte budget across all shards (records + key + entry overhead).
+  size_t byte_budget = 64ull * 1024 * 1024;
+  /// Lock striping. Rounded up to at least 1.
+  size_t shards = 16;
+  /// Fixed accounting overhead charged per entry (node + map bookkeeping),
+  /// so caching many tiny records cannot blow past the budget for free.
+  size_t entry_overhead_bytes = 64;
+};
+
+/// Monotonic counters, snapshotted by executors into MetricsSnapshot.
+struct RecordCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  /// Admissions abandoned (error paths) or rejected (entry alone exceeds
+  /// the shard budget).
+  uint64_t aborted_admissions = 0;
+  uint64_t rejected_admissions = 0;
+};
+
+/// A sharded LRU cache of resolved pointer lookups: key is
+/// "(file, partition, in-partition key)", value is the full result set of
+/// that lookup — including the EMPTY result, which is cached too (negative
+/// caching), since files are immutable after Seal().
+///
+/// Admission is two-phase so that retried batches can never double-admit:
+///   if (StartAdmission(k)) { read...; ok ? CommitAdmission(k, recs)
+///                                        : AbortAdmission(k); }
+/// StartAdmission returns false while another thread holds the same key's
+/// reservation or the key is already resident; CommitAdmission requires the
+/// reservation, so "admit the same read twice" is structurally impossible.
+/// The pending-reservation count is exposed as inflight() and must drain to
+/// zero at executor quiescence.
+///
+/// Pins protect entries from eviction (working-set residency for hot
+/// dimension records). Lookup returns a *copy* of the record handles
+/// (Records are cheap shared_ptr wrappers), so pins are a residency
+/// guarantee, not a memory-safety requirement; Invalidate is allowed on
+/// pinned entries (holders keep their copies).
+class RecordCache {
+ public:
+  explicit RecordCache(RecordCacheOptions options);
+  LH_DISALLOW_COPY_AND_ASSIGN(RecordCache);
+
+  /// Canonical cache key for a lookup against `file_name`.
+  static std::string MakeKey(const std::string& file_name, uint32_t partition,
+                             const std::string& key);
+
+  /// Hit: promotes to MRU and returns a copy of the cached result (possibly
+  /// an empty vector — a cached miss). Miss: returns nullopt.
+  std::optional<std::vector<io::Record>> Lookup(const std::string& key);
+
+  /// Reserve `key` for admission. False if already resident or reserved.
+  bool StartAdmission(const std::string& key);
+
+  /// Publish the result of a reserved read. Must follow a successful
+  /// StartAdmission for the same key. The entry may still be rejected if it
+  /// alone exceeds the shard budget (counted, not an error).
+  void CommitAdmission(const std::string& key, std::vector<io::Record> records);
+
+  /// Drop a reservation without publishing (the read failed).
+  void AbortAdmission(const std::string& key);
+
+  /// Pin/unpin a resident entry. Pin returns false on a non-resident key.
+  /// Pins nest; eviction skips entries with pins > 0.
+  bool Pin(const std::string& key);
+  void Unpin(const std::string& key);
+
+  /// Remove `key` if resident (pinned or not). Returns true if removed.
+  /// Used by executors to invalidate entries admitted by a batch that
+  /// subsequently failed, so its retry re-reads instead of re-admitting.
+  bool Invalidate(const std::string& key);
+
+  /// Drop every resident entry (reservations are untouched).
+  void Clear();
+
+  size_t entries() const;
+  size_t bytes() const;
+  /// Outstanding admission reservations. Zero at executor quiescence.
+  size_t inflight() const;
+  size_t byte_budget() const { return options_.byte_budget; }
+  const RecordCacheOptions& options() const { return options_; }
+
+  RecordCacheStats stats() const;
+
+  /// Invariant audit for tests: per-shard byte accounting matches the
+  /// resident entries and map/LRU-list agree. Returns false on corruption.
+  bool CheckConsistency() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<io::Record> records;
+    size_t bytes = 0;
+    uint32_t pins = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    std::unordered_set<std::string> pending;  // reserved, not yet resident
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  size_t EntryBytes(const std::string& key,
+                    const std::vector<io::Record>& records) const;
+  /// Evict from the LRU tail (skipping pinned entries) until the shard fits
+  /// its budget. Caller holds the shard lock.
+  void EvictIfNeeded(Shard& shard);
+
+  RecordCacheOptions options_;
+  size_t shard_budget_;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> admissions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> aborted_admissions_{0};
+  std::atomic<uint64_t> rejected_admissions_{0};
+};
+
+}  // namespace lakeharbor::rede

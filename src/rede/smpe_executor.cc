@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/random.h"
+#include "rede/deref_batch.h"
 
 namespace lakeharbor::rede {
 
@@ -53,9 +56,16 @@ SmpeExecutor::SmpeExecutor(sim::Cluster* cluster, SmpeOptions options)
   LH_CHECK(cluster_ != nullptr);
   LH_CHECK_MSG(options_.threads_per_node > 0,
                "SMPE needs at least one thread per node");
-  pools_.reserve(cluster_->num_nodes());
-  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
-    pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node));
+  if (options_.deterministic_seed == 0) {
+    // Seeded-schedule mode runs everything on the calling thread; pools
+    // would only sit idle.
+    pools_.reserve(cluster_->num_nodes());
+    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+      pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node));
+    }
+  }
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<RecordCache>(options_.cache);
   }
 }
 
@@ -71,21 +81,32 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
     state.inflight.Done();
     return;
   }
+  LH_CHECK(!task.tuples.empty());
   const StageFunction& fn = *state.job->stages()[task.stage];
-  ExecContext ctx{node, cluster_, &state.metrics};
+  ExecContext ctx{node, cluster_, &state.metrics, cache_.get()};
   std::vector<Tuple> outs;
   Status status;
   size_t retry = 0;
+  const bool batched = task.tuples.size() > 1;
+  if (batched) {
+    state.metrics.deref_batches.fetch_add(1, std::memory_order_relaxed);
+    state.metrics.deref_batched_pointers.fetch_add(task.tuples.size(),
+                                                   std::memory_order_relaxed);
+  }
   for (;;) {
     outs.clear();  // discard partial emissions of a failed attempt
     if (fn.IsDereferencer()) {
       state.metrics.deref_invocations.fetch_add(1, std::memory_order_relaxed);
       state.metrics.EnterDeref();
-      status = fn.Execute(ctx, task.tuple, &outs);
+      // A failed ExecuteBatch invalidated its own cache admissions, so a
+      // retry below re-reads the whole batch instead of re-admitting it.
+      status = batched ? fn.ExecuteBatch(ctx, task.tuples, &outs)
+                       : fn.Execute(ctx, task.tuples.front(), &outs);
       state.metrics.ExitDeref();
     } else {
+      // Referencer tasks are always singletons (Route never batches them).
       state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
-      status = fn.Execute(ctx, task.tuple, &outs);
+      status = fn.Execute(ctx, task.tuples.front(), &outs);
     }
     // Only Dereferencer failures can be transient (they touch devices);
     // Referencer errors are logic errors and always fail fast. Stop
@@ -134,6 +155,13 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
   };
   std::vector<Pending> work;
   work.reserve(tuples.size());
+  // Keyed tuples destined for batchable Dereferencer stages are buffered
+  // here across the WHOLE cascade (an index-scan → referencer chain can
+  // emit hundreds of same-partition pointers one at a time) and flushed as
+  // coalesced per-partition batch tasks at the end. Buffered tuples are not
+  // yet registered in-flight, so the fail-fast early returns below drop
+  // them without unbalancing the tracker.
+  std::map<size_t, std::vector<Tuple>> batch_buffer;
   for (auto it = tuples.rbegin(); it != tuples.rend(); ++it) {
     work.push_back(Pending{next_stage, std::move(*it)});
   }
@@ -186,7 +214,7 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
         Tuple copy = (m == last) ? std::move(pending.tuple) : pending.tuple;
         copy.resolve_local = true;
         state.inflight.Add();
-        if (!state.queues[m]->Push(Task{pending.stage, std::move(copy)})) {
+        if (!state.queues[m]->Push(Task{pending.stage, {std::move(copy)}})) {
           // Queue already closed (shutdown): the task will never run, so
           // balance the in-flight count or AwaitZero() hangs forever.
           state.inflight.Done();
@@ -194,14 +222,71 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
       }
       continue;
     }
+    if (options_.batch.enabled && next_fn.IsDereferencer() &&
+        !pending.tuple.is_range && pending.tuple.pointer.has_partition &&
+        next_fn.SupportsBatchedDereference()) {
+      batch_buffer[pending.stage].push_back(std::move(pending.tuple));
+      continue;
+    }
     // Keyed (or already-localized) tuple: the task stays on the emitting
     // node; its Dereferencer performs the possibly-remote fetch.
     state.inflight.Add();
     if (!state.queues[node]->Push(
-            Task{pending.stage, std::move(pending.tuple)})) {
+            Task{pending.stage, {std::move(pending.tuple)}})) {
       state.inflight.Done();  // rejected enqueue: balance or deadlock
     }
   }
+  for (auto& [stage, buffered] : batch_buffer) {
+    if (state.Failed()) return;
+    const StageFunction& fn = *state.job->stages()[stage];
+    for (PointerBatch& batch : CoalesceByPartition(
+             std::move(buffered), fn, options_.batch.max_batch_size)) {
+      state.inflight.Add();
+      if (!state.queues[node]->Push(Task{stage, std::move(batch.tuples)})) {
+        state.inflight.Done();
+      }
+    }
+  }
+}
+
+void SmpeExecutor::SeedInitial(RunState& state) const {
+  // Seed: a broadcast initial input (the common case — e.g. a range over a
+  // local secondary index; resolve_local was set by JobBuilder::Build)
+  // starts on every node; a keyed or partition-pruning one is one task.
+  const uint32_t num_nodes = cluster_->num_nodes();
+  const Tuple& initial = state.job->initial_input();
+  if (initial.resolve_local) {
+    state.inflight.Add(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      if (!state.queues[n]->Push(Task{0, {initial}})) state.inflight.Done();
+    }
+  } else {
+    state.inflight.Add();
+    if (!state.queues[0]->Push(Task{0, {initial}})) state.inflight.Done();
+  }
+}
+
+void SmpeExecutor::RunDeterministic(RunState& state) const {
+  // One thread, one PRNG: repeatedly pick a uniformly random nonempty node
+  // queue and run its head task to completion (including its inline
+  // cascade). Every interleaving this explores is a prefix-respecting
+  // serialization of the real executor's task DAG, and the same seed walks
+  // the same sequence exactly.
+  Random rng(options_.deterministic_seed);
+  std::vector<uint32_t> ready;
+  for (;;) {
+    ready.clear();
+    for (uint32_t n = 0; n < state.queues.size(); ++n) {
+      if (!state.queues[n]->empty()) ready.push_back(n);
+    }
+    if (ready.empty()) break;  // no queued tasks ⇒ nothing in flight either
+    uint32_t n = ready[rng.Uniform(ready.size())];
+    if (auto task = state.queues[n]->TryPop()) {
+      RunTask(state, n, std::move(*task));
+    }
+  }
+  LH_CHECK_MSG(state.inflight.count() == 0,
+               "deterministic schedule drained with tasks still in flight");
 }
 
 StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
@@ -216,46 +301,57 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   for (uint32_t n = 0; n < num_nodes; ++n) {
     state.queues.push_back(std::make_unique<MpmcQueue<Task>>());
   }
+  // The cache is shared across runs; attribute only this run's activity to
+  // this run's metrics.
+  RecordCacheStats cache_before;
+  if (cache_ != nullptr) cache_before = cache_->stats();
 
-  // Dispatchers: one per node, handing queued tasks to the node's pool so
-  // that executing a function never blocks dequeueing (Fig 6's model).
-  std::vector<std::thread> dispatchers;
-  dispatchers.reserve(num_nodes);
-  for (uint32_t n = 0; n < num_nodes; ++n) {
-    dispatchers.emplace_back([this, &state, n] {
-      while (auto task = state.queues[n]->Pop()) {
-        bool submitted = pools_[n]->Submit(
-            [this, &state, n, t = std::move(*task)]() mutable {
-              RunTask(state, n, std::move(t));
-            });
-        if (!submitted) {
-          // Pool shut down under us: the task will never run; balance the
-          // in-flight count registered at enqueue time or AwaitZero() hangs.
-          state.metrics.tasks_dropped_on_failure.fetch_add(
-              1, std::memory_order_relaxed);
-          state.inflight.Done();
-        }
-      }
-    });
-  }
-
-  // Seed: a broadcast initial input (the common case — e.g. a range over a
-  // local secondary index; resolve_local was set by JobBuilder::Build)
-  // starts on every node; a keyed or partition-pruning one is one task.
-  const Tuple& initial = job.initial_input();
-  if (initial.resolve_local) {
-    state.inflight.Add(num_nodes);
-    for (uint32_t n = 0; n < num_nodes; ++n) {
-      if (!state.queues[n]->Push(Task{0, initial})) state.inflight.Done();
-    }
+  if (options_.deterministic_seed != 0) {
+    SeedInitial(state);
+    RunDeterministic(state);
+    for (auto& queue : state.queues) queue->Close();
   } else {
-    state.inflight.Add();
-    if (!state.queues[0]->Push(Task{0, initial})) state.inflight.Done();
+    // Dispatchers: one per node, handing queued tasks to the node's pool so
+    // that executing a function never blocks dequeueing (Fig 6's model).
+    std::vector<std::thread> dispatchers;
+    dispatchers.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      dispatchers.emplace_back([this, &state, n] {
+        while (auto task = state.queues[n]->Pop()) {
+          bool submitted = pools_[n]->Submit(
+              [this, &state, n, t = std::move(*task)]() mutable {
+                RunTask(state, n, std::move(t));
+              });
+          if (!submitted) {
+            // Pool shut down under us: the task will never run; balance the
+            // in-flight count registered at enqueue time or AwaitZero()
+            // hangs.
+            state.metrics.tasks_dropped_on_failure.fetch_add(
+                1, std::memory_order_relaxed);
+            state.inflight.Done();
+          }
+        }
+      });
+    }
+
+    SeedInitial(state);
+
+    state.inflight.AwaitZero();
+    for (auto& queue : state.queues) queue->Close();
+    for (auto& dispatcher : dispatchers) dispatcher.join();
   }
 
-  state.inflight.AwaitZero();
-  for (auto& queue : state.queues) queue->Close();
-  for (auto& dispatcher : dispatchers) dispatcher.join();
+  if (cache_ != nullptr) {
+    RecordCacheStats after = cache_->stats();
+    state.metrics.cache_hits.fetch_add(after.hits - cache_before.hits);
+    state.metrics.cache_misses.fetch_add(after.misses - cache_before.misses);
+    state.metrics.cache_admissions.fetch_add(after.admissions -
+                                             cache_before.admissions);
+    state.metrics.cache_evictions.fetch_add(after.evictions -
+                                            cache_before.evictions);
+    state.metrics.cache_invalidations.fetch_add(after.invalidations -
+                                                cache_before.invalidations);
+  }
 
   {
     std::lock_guard<std::mutex> lock(state.error_mutex);

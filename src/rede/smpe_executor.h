@@ -8,9 +8,21 @@
 #include "concurrent/mpmc_queue.h"
 #include "concurrent/thread_pool.h"
 #include "rede/executor.h"
+#include "rede/record_cache.h"
 #include "sim/cluster.h"
 
 namespace lakeharbor::rede {
+
+/// Dereference batching: coalesce same-partition keyed pointers emitted by
+/// one task's cascade into a single fused batch read (one seek plus cheap
+/// follow-ups) instead of one task — and one random read — per pointer.
+/// Off by default; broadcast and localized tuples are never batched.
+struct DerefBatchOptions {
+  bool enabled = false;
+  /// Largest fused batch; bigger same-partition groups are split. Bounds
+  /// both the single-task latency and the blast radius of a batch retry.
+  size_t max_batch_size = 64;
+};
 
 /// Tuning knobs for scalable massively parallel execution.
 struct SmpeOptions {
@@ -33,6 +45,21 @@ struct SmpeOptions {
   /// exhausted retries) fail the job fast. Disabled by default — the
   /// pre-existing fail-fast semantics.
   RetryPolicy retry;
+
+  /// Same-partition pointer coalescing (off by default).
+  DerefBatchOptions batch;
+
+  /// Node-local record cache consulted by Dereferencers (off by default).
+  /// One cache per executor, shared across that executor's runs — files are
+  /// immutable after Seal(), so entries never go stale.
+  RecordCacheOptions cache;
+
+  /// When nonzero, Execute() runs single-threaded on the calling thread,
+  /// picking the next task from a seeded PRNG over the nonempty node
+  /// queues. The same seed replays the same interleaving exactly; different
+  /// seeds explore different (but valid) schedules. No dispatcher threads
+  /// or pools are used. For tests.
+  uint64_t deterministic_seed = 0;
 };
 
 /// Scalable Massively Parallel Execution (Algorithm 1).
@@ -62,21 +89,30 @@ class SmpeExecutor final : public Executor {
 
   StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
 
+  /// The executor's record cache, or nullptr when caching is disabled.
+  RecordCache* record_cache() const { return cache_.get(); }
+
  private:
+  /// A fine-grained unit of work: one tuple normally, or a coalesced batch
+  /// of same-partition keyed tuples when batching is enabled.
   struct Task {
     size_t stage;
-    Tuple tuple;
+    std::vector<Tuple> tuples;
   };
   struct RunState;  // per-Execute state; defined in .cc
 
   void RunTask(RunState& state, sim::NodeId node, Task task) const;
   void Route(RunState& state, sim::NodeId node, size_t next_stage,
              std::vector<Tuple>&& tuples) const;
+  void SeedInitial(RunState& state) const;
+  /// Single-threaded seeded-schedule drain (deterministic_seed != 0).
+  void RunDeterministic(RunState& state) const;
 
   std::string name_ = "rede-smpe";
   sim::Cluster* cluster_;
   SmpeOptions options_;
   std::vector<std::unique_ptr<ThreadPool>> pools_;  // one per node
+  std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
 };
 
 }  // namespace lakeharbor::rede

@@ -5,11 +5,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/pointer.h"
 #include "rede/metrics.h"
 #include "rede/tuple.h"
 #include "sim/cluster.h"
 
 namespace lakeharbor::rede {
+
+class RecordCache;
 
 /// Per-invocation execution context: which simulated node the function is
 /// running on (determines locality of charged I/O) plus shared counters.
@@ -17,6 +20,9 @@ struct ExecContext {
   sim::NodeId node = 0;
   sim::Cluster* cluster = nullptr;
   ExecMetricsCounters* metrics = nullptr;
+  /// Node-local record cache, or nullptr when caching is disabled.
+  /// Dereferencers consult it before touching simulated storage.
+  RecordCache* record_cache = nullptr;
 };
 
 /// Base of the two function kinds composing a ReDe job (§III-B). The
@@ -42,6 +48,34 @@ class StageFunction {
   /// feed the next stage (or the job output when this is the last stage).
   virtual Status Execute(const ExecContext& ctx, const Tuple& input,
                          std::vector<Tuple>* out) const = 0;
+
+  /// True when this stage can resolve many keyed point tuples in one fused
+  /// invocation. The executor then groups enqueued tuples by
+  /// PartitionOfPointer() and dispatches one ExecuteBatch per group.
+  virtual bool SupportsBatchedDereference() const { return false; }
+
+  /// Partition of the stage's target file that `ptr` resolves in — the
+  /// coalescing group key. Only called for keyed pointers on stages that
+  /// report SupportsBatchedDereference().
+  virtual uint32_t PartitionOfPointer(const io::Pointer& ptr) const {
+    (void)ptr;
+    return 0;
+  }
+
+  /// Consume a batch of input tuples at once. Emission order within the
+  /// batch is unspecified (SMPE output is unordered anyway), but the emitted
+  /// SET must equal what per-tuple Execute calls would produce. On error the
+  /// whole batch is unconsumed: implementations must undo any cache
+  /// admissions they made so a retry re-reads instead of re-admitting. The
+  /// default degrades to a per-tuple loop.
+  virtual Status ExecuteBatch(const ExecContext& ctx,
+                              const std::vector<Tuple>& inputs,
+                              std::vector<Tuple>* out) const {
+    for (const Tuple& input : inputs) {
+      LH_RETURN_NOT_OK(Execute(ctx, input, out));
+    }
+    return Status::OK();
+  }
 };
 
 /// A Referencer takes a record (bundle) and produces pointers to records it

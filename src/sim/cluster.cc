@@ -25,6 +25,17 @@ Status Cluster::ChargeRandomRead(NodeId compute_node, NodeId storage_node,
   return Status::OK();
 }
 
+Status Cluster::ChargeBatchRead(NodeId compute_node, NodeId storage_node,
+                                size_t ops, size_t bytes) {
+  LH_CHECK(storage_node < nodes_.size());
+  if (ops == 0) return Status::OK();
+  LH_RETURN_NOT_OK(nodes_[storage_node]->disk().BatchRandomRead(ops, bytes));
+  if (compute_node != storage_node) {
+    LH_RETURN_NOT_OK(network_->Transfer(bytes));
+  }
+  return Status::OK();
+}
+
 Status Cluster::ChargeSequentialRead(NodeId compute_node, NodeId storage_node,
                                      size_t bytes) {
   LH_CHECK(storage_node < nodes_.size());

@@ -78,6 +78,13 @@ class Cluster {
   Status ChargeRandomRead(NodeId compute_node, NodeId storage_node,
                           size_t bytes);
 
+  /// Charge one fused batch read resolving `ops` same-partition keys
+  /// totalling `bytes` on `storage_node` (one seek + cheap follow-ups; see
+  /// Disk::BatchRandomRead). Remote access pays one transfer for the whole
+  /// batch — coalescing saves messages as well as seeks.
+  Status ChargeBatchRead(NodeId compute_node, NodeId storage_node, size_t ops,
+                         size_t bytes);
+
   /// Charge a sequential scan of `bytes` on `storage_node` (plus transfer
   /// when remote).
   Status ChargeSequentialRead(NodeId compute_node, NodeId storage_node,

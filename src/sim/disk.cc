@@ -59,6 +59,24 @@ Status Disk::RandomRead(size_t bytes) {
   return Status::OK();
 }
 
+Status Disk::BatchRandomRead(size_t ops, size_t bytes) {
+  if (ops == 0) return Status::OK();
+  double latency_scale = 1.0;
+  LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
+  if (options_.timing_enabled) {
+    SemaphoreGuard guard(slots_);
+    double us = static_cast<double>(options_.random_read_latency_us) +
+                static_cast<double>(ops - 1) *
+                    static_cast<double>(options_.batch_followup_latency_us);
+    SleepUs(us * latency_scale);
+  }
+  stats_.random_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_ops.fetch_add(ops, std::memory_order_relaxed);
+  stats_.bytes_random.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status Disk::SequentialRead(size_t bytes) {
   double latency_scale = 1.0;
   LH_RETURN_NOT_OK(MaybeFault(&latency_scale));

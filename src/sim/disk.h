@@ -23,6 +23,10 @@ struct DiskOptions {
   size_t io_slots = 24;
   /// Service time of one random read once admitted.
   uint64_t random_read_latency_us = 2000;
+  /// Incremental service time of each follow-up key in a batched random
+  /// read: after the initial seek, subsequent same-partition probes ride
+  /// the head position / readahead window instead of paying a full seek.
+  uint64_t batch_followup_latency_us = 250;
   /// Streaming bandwidth for sequential scans, bytes per second.
   uint64_t scan_bandwidth_bytes_per_sec = 50ull * 1024 * 1024;
   /// Granularity at which sequential scans reserve the device.
@@ -47,6 +51,14 @@ class Disk {
   /// One random record read of `bytes`. Blocks the calling thread for the
   /// modeled service time (timing mode). Fault injection may fail it.
   Status RandomRead(size_t bytes);
+
+  /// One *fused* random read resolving `ops` same-partition keys totalling
+  /// `bytes`. The batch is a single device operation: one fault-stream
+  /// assessment, one I/O slot admission, and latency
+  /// `random_read_latency_us + (ops - 1) * batch_followup_latency_us`.
+  /// Counts as ONE random_read (plus batched_reads/batched_ops), which is
+  /// what makes dereference batching measurable. ops == 0 is a no-op.
+  Status BatchRandomRead(size_t ops, size_t bytes);
 
   /// Stream `bytes` sequentially, reserving the device in chunks so that
   /// concurrent scanners on the same disk share bandwidth fairly.

@@ -10,6 +10,12 @@ namespace lakeharbor::sim {
 /// deterministic assertions about I/O behaviour.
 struct ResourceStats {
   std::atomic<uint64_t> random_reads{0};
+  /// Fused multi-key probes (each also counts as ONE random_read — the
+  /// batch is one seek-dominated device operation) and the pointer
+  /// resolutions they carried. `batched_ops - batched_reads` is the number
+  /// of random reads batching saved.
+  std::atomic<uint64_t> batched_reads{0};
+  std::atomic<uint64_t> batched_ops{0};
   std::atomic<uint64_t> sequential_chunks{0};
   std::atomic<uint64_t> bytes_random{0};
   std::atomic<uint64_t> bytes_sequential{0};
@@ -22,6 +28,8 @@ struct ResourceStats {
 
   void Reset() {
     random_reads = 0;
+    batched_reads = 0;
+    batched_ops = 0;
     sequential_chunks = 0;
     bytes_random = 0;
     bytes_sequential = 0;
@@ -39,6 +47,8 @@ struct ResourceStats {
 /// returns).
 struct ResourceTotals {
   uint64_t random_reads = 0;
+  uint64_t batched_reads = 0;
+  uint64_t batched_ops = 0;
   uint64_t sequential_chunks = 0;
   uint64_t bytes_random = 0;
   uint64_t bytes_sequential = 0;
@@ -51,6 +61,8 @@ struct ResourceTotals {
 
   void Merge(const ResourceStats& other) {
     random_reads += other.random_reads.load();
+    batched_reads += other.batched_reads.load();
+    batched_ops += other.batched_ops.load();
     sequential_chunks += other.sequential_chunks.load();
     bytes_random += other.bytes_random.load();
     bytes_sequential += other.bytes_sequential.load();

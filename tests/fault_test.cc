@@ -12,6 +12,7 @@
 #include "rede/builtin_derefs.h"
 #include "rede/builtin_refs.h"
 #include "rede/engine.h"
+#include "rede/smpe_executor.h"
 #include "rede/statistics.h"
 #include "sim/cluster.h"
 #include "sim/fault.h"
@@ -428,6 +429,101 @@ TEST_F(FaultEngineFixture, NodeOutageFailsJobsCleanlyUntilLifted) {
   auto recovered = engine->ExecuteCollect(*job, ExecutionMode::kSmpe);
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(recovered->tuples.size(), static_cast<size_t>(kEmployees));
+}
+
+// ------------------------------------- batching + caching under faults
+
+TEST_F(FaultEngineFixture, RetriedBatchesReReadInsteadOfReAdmitting) {
+  BuildEngine(EngineOptions{});  // engine only builds the data + catalog
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto clean = engine->ExecuteCollect(*job, ExecutionMode::kSmpe);
+  ASSERT_TRUE(clean.ok());
+
+  SmpeOptions options;
+  options.retry.max_retries = 8;
+  options.retry.backoff_initial_us = 1;
+  options.retry.backoff_max_us = 10;
+  options.batch.enabled = true;
+  options.batch.max_batch_size = 16;
+  options.cache.enabled = true;
+  SmpeExecutor executor(&cluster, options);
+  ASSERT_NE(executor.record_cache(), nullptr);
+
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().InjectFaultEvery(8);
+  }
+  TupleCollector collector;
+  auto result = executor.Execute(*job, collector.AsSink());
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().ClearFault();
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Canonical(collector.TakeTuples()), Canonical(clean->tuples));
+  EXPECT_GT(result->metrics.retries, 0u);
+  EXPECT_GT(result->metrics.deref_batches, 0u);
+
+  // A failed batch attempt aborted its reservations and invalidated its own
+  // partial admissions before the retry re-read the data, so afterwards:
+  // nothing is stuck in admission, the LRU books balance, and every resident
+  // entry was admitted exactly once (CommitAdmission LH_CHECKs that a
+  // reserved key cannot already be resident — a double-admit would abort).
+  const RecordCache& cache = *executor.record_cache();
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_TRUE(cache.CheckConsistency());
+  RecordCacheStats stats = cache.stats();
+  EXPECT_EQ(cache.entries(),
+            stats.admissions - stats.invalidations - stats.evictions);
+  // Nothing beyond the 120 employees + 10 departments is cacheable.
+  EXPECT_LE(cache.entries(), static_cast<size_t>(kEmployees + kDepts));
+
+  // No phantom hits: a rerun against the now-warm cache must produce the
+  // exact clean result from cached records alone (plus any cold misses).
+  TupleCollector warm;
+  auto warm_result = executor.Execute(*job, warm.AsSink());
+  ASSERT_TRUE(warm_result.ok());
+  EXPECT_EQ(Canonical(warm.TakeTuples()), Canonical(clean->tuples));
+  EXPECT_GT(warm_result->metrics.cache_hits, 0u);
+}
+
+TEST_F(FaultEngineFixture, MidBatchFaultWithoutRetriesLeavesCacheConsistent) {
+  BuildEngine(EngineOptions{});
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto clean = engine->ExecuteCollect(*job, ExecutionMode::kSmpe);
+  ASSERT_TRUE(clean.ok());
+
+  SmpeOptions options;  // retries disabled: the first fault fails the job
+  options.batch.enabled = true;
+  options.batch.max_batch_size = 16;
+  options.cache.enabled = true;
+  SmpeExecutor executor(&cluster, options);
+
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().InjectFaultEvery(8);
+  }
+  TupleCollector sink;
+  auto failed = executor.Execute(*job, sink.AsSink());
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().ClearFault();
+  }
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsRetryable()) << failed.status().ToString();
+
+  // The faulted batch read was charged before any of its records were
+  // admitted, so the cache holds only wholly-read batches: no in-flight
+  // reservations, balanced books.
+  const RecordCache& cache = *executor.record_cache();
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_TRUE(cache.CheckConsistency());
+
+  // Entries that did survive are real: a clean rerun through the same
+  // (partially warm) cache reproduces the exact result set.
+  TupleCollector recovered;
+  auto recovered_result = executor.Execute(*job, recovered.AsSink());
+  ASSERT_TRUE(recovered_result.ok()) << recovered_result.status().ToString();
+  EXPECT_EQ(Canonical(recovered.TakeTuples()), Canonical(clean->tuples));
+  EXPECT_GT(recovered_result->metrics.cache_hits, 0u);
 }
 
 // ------------------------------------------------- statistics build retry

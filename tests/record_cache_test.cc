@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "io/key_codec.h"
+#include "io/partitioned_file.h"
+#include "rede/builtin_derefs.h"
+#include "rede/deref_batch.h"
+#include "rede/record_cache.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+namespace {
+
+RecordCacheOptions SmallCache(size_t byte_budget, size_t shards = 1) {
+  RecordCacheOptions options;
+  options.enabled = true;
+  options.byte_budget = byte_budget;
+  options.shards = shards;
+  options.entry_overhead_bytes = 0;  // byte math in tests stays exact
+  return options;
+}
+
+/// Admit one entry holding a single record of `bytes` payload bytes.
+void Admit(RecordCache& cache, const std::string& key, size_t bytes) {
+  ASSERT_TRUE(cache.StartAdmission(key)) << key;
+  cache.CommitAdmission(key, {io::Record(std::string(bytes, 'x'))});
+}
+
+bool IsHit(RecordCache& cache, const std::string& key) {
+  return cache.Lookup(key).has_value();
+}
+
+// ------------------------------------------------------------ LRU semantics
+
+TEST(RecordCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard, budget for exactly three 101-byte entries (1-byte key + 100).
+  RecordCache cache(SmallCache(303));
+  Admit(cache, "a", 100);
+  Admit(cache, "b", 100);
+  Admit(cache, "c", 100);
+  EXPECT_EQ(cache.entries(), 3u);
+  ASSERT_TRUE(IsHit(cache, "a"));  // promote a to MRU; b is now the LRU tail
+
+  Admit(cache, "d", 100);  // over budget: evict exactly the tail
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 303u);
+  EXPECT_FALSE(IsHit(cache, "b"));
+  EXPECT_TRUE(IsHit(cache, "a"));
+  EXPECT_TRUE(IsHit(cache, "c"));
+  EXPECT_TRUE(IsHit(cache, "d"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.CheckConsistency());
+}
+
+TEST(RecordCacheTest, PinnedEntriesSurviveEvictionUntilUnpinned) {
+  RecordCache cache(SmallCache(303));
+  Admit(cache, "a", 100);
+  Admit(cache, "b", 100);
+  Admit(cache, "c", 100);
+  ASSERT_TRUE(cache.Pin("a"));  // a is the LRU tail, but pinned
+
+  Admit(cache, "d", 100);  // eviction must skip a and take b instead
+  EXPECT_TRUE(IsHit(cache, "a"));
+  EXPECT_FALSE(IsHit(cache, "b"));
+
+  cache.Unpin("a");
+  // a was just promoted by the hit above; c is now the tail.
+  Admit(cache, "e", 100);
+  EXPECT_FALSE(IsHit(cache, "c"));
+  EXPECT_TRUE(IsHit(cache, "a"));
+  EXPECT_TRUE(cache.CheckConsistency());
+
+  EXPECT_FALSE(cache.Pin("nope"));  // non-resident keys cannot be pinned
+  cache.Unpin("nope");              // and a dangling unpin is a no-op
+}
+
+TEST(RecordCacheTest, ByteAccountingTracksAdmissionInvalidationAndClear) {
+  RecordCache cache(SmallCache(10'000));
+  Admit(cache, "k1", 50);  // 2 + 50
+  Admit(cache, "k2", 30);  // 2 + 30
+  EXPECT_EQ(cache.bytes(), 84u);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  EXPECT_TRUE(cache.Invalidate("k1"));
+  EXPECT_EQ(cache.bytes(), 32u);
+  EXPECT_FALSE(cache.Invalidate("k1"));  // already gone
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  // Invalidate is allowed on pinned entries: pin holders keep their copies.
+  ASSERT_TRUE(cache.Pin("k2"));
+  EXPECT_TRUE(cache.Invalidate("k2"));
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  Admit(cache, "k3", 10);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_TRUE(cache.CheckConsistency());
+}
+
+TEST(RecordCacheTest, EntryLargerThanBudgetIsRejectedNotAdmitted) {
+  RecordCache cache(SmallCache(100));
+  ASSERT_TRUE(cache.StartAdmission("big"));
+  cache.CommitAdmission("big", {io::Record(std::string(500, 'x'))});
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().rejected_admissions, 1u);
+  EXPECT_EQ(cache.inflight(), 0u);  // the reservation was still consumed
+  EXPECT_TRUE(cache.CheckConsistency());
+}
+
+// ----------------------------------------------------- two-phase admission
+
+TEST(RecordCacheTest, AdmissionIsTwoPhaseAndNeverDoubleAdmits) {
+  RecordCache cache(SmallCache(10'000));
+  ASSERT_TRUE(cache.StartAdmission("k"));
+  EXPECT_EQ(cache.inflight(), 1u);
+  // A concurrent admitter of the same key is refused while reserved...
+  EXPECT_FALSE(cache.StartAdmission("k"));
+  cache.CommitAdmission("k", {io::Record("v")});
+  EXPECT_EQ(cache.inflight(), 0u);
+  // ...and refused once resident — committing twice is impossible.
+  EXPECT_FALSE(cache.StartAdmission("k"));
+  EXPECT_EQ(cache.stats().admissions, 1u);
+
+  // Abort drops the reservation without publishing anything.
+  ASSERT_TRUE(cache.StartAdmission("k2"));
+  cache.AbortAdmission("k2");
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_FALSE(IsHit(cache, "k2"));
+  EXPECT_EQ(cache.stats().aborted_admissions, 1u);
+  // The key is admittable again after the abort (a retry re-reads it).
+  EXPECT_TRUE(cache.StartAdmission("k2"));
+  cache.CommitAdmission("k2", {});
+  EXPECT_TRUE(cache.CheckConsistency());
+}
+
+TEST(RecordCacheTest, EmptyResultsAreCachedNegatively) {
+  RecordCache cache(SmallCache(10'000));
+  EXPECT_FALSE(cache.Lookup("absent").has_value());  // true miss
+  ASSERT_TRUE(cache.StartAdmission("absent"));
+  cache.CommitAdmission("absent", {});  // the lookup found nothing
+  auto hit = cache.Lookup("absent");
+  ASSERT_TRUE(hit.has_value());  // hit...
+  EXPECT_TRUE(hit->empty());     // ...on the cached empty result
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(RecordCacheTest, MakeKeySeparatesFilePartitionAndKey) {
+  EXPECT_NE(RecordCache::MakeKey("f", 1, "2k"),
+            RecordCache::MakeKey("f", 12, "k"));
+  EXPECT_NE(RecordCache::MakeKey("f", 1, "k"),
+            RecordCache::MakeKey("g", 1, "k"));
+  EXPECT_EQ(RecordCache::MakeKey("f", 3, "k"),
+            RecordCache::MakeKey("f", 3, "k"));
+}
+
+// ------------------------------------------------------- concurrent races
+// Run under LH_SANITIZE=thread to verify the sharded locking: concurrent
+// hits, misses, admissions, pins and invalidations on overlapping keys.
+
+TEST(RecordCacheTest, ConcurrentHitMissAdmitRaceKeepsInvariants) {
+  RecordCache cache(SmallCache(8 * 1024, /*shards=*/4));
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeySpace = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      Random rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "k" + std::to_string(rng.Uniform(kKeySpace));
+        switch (rng.Uniform(5)) {
+          case 0:
+          case 1:
+            (void)cache.Lookup(key);
+            break;
+          case 2:
+            if (cache.StartAdmission(key)) {
+              if (rng.Bernoulli(0.9)) {
+                cache.CommitAdmission(
+                    key, {io::Record(std::string(rng.Uniform(64) + 1, 'x'))});
+              } else {
+                cache.AbortAdmission(key);
+              }
+            }
+            break;
+          case 3:
+            if (cache.Pin(key)) {
+              (void)cache.Lookup(key);
+              cache.Unpin(key);
+            }
+            break;
+          case 4:
+            (void)cache.Invalidate(key);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_TRUE(cache.CheckConsistency());
+  RecordCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.admissions, 0u);
+}
+
+// --------------------------------------------------- batch coalescing unit
+
+Tuple KeyedTuple(int64_t key) {
+  return Tuple::Point(io::Pointer::Keyed(io::EncodeInt64Key(key)));
+}
+
+TEST(CoalesceByPartitionTest, BoundaryCases) {
+  sim::Cluster cluster(sim::ClusterOptions::ForNodes(2));
+  auto file = std::make_shared<io::PartitionedFile>(
+      "f", std::make_shared<io::HashPartitioner>(4), &cluster);
+  file->Seal();
+  StageFunctionPtr deref = MakePointDereferencer("deref", file);
+  ASSERT_TRUE(deref->SupportsBatchedDereference());
+
+  // Empty input: no batches.
+  EXPECT_TRUE(CoalesceByPartition({}, *deref, 8).empty());
+
+  // Single pointer: one singleton batch.
+  auto single = CoalesceByPartition({KeyedTuple(7)}, *deref, 8);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].tuples.size(), 1u);
+  EXPECT_EQ(single[0].partition,
+            deref->PartitionOfPointer(KeyedTuple(7).pointer));
+
+  // Cross-partition split: tuples of different partitions never share a
+  // batch, and batches come out in ascending partition order.
+  std::vector<Tuple> mixed;
+  for (int64_t k = 0; k < 40; ++k) mixed.push_back(KeyedTuple(k));
+  auto batches = CoalesceByPartition(std::move(mixed), *deref, 1000);
+  std::set<uint32_t> partitions;
+  size_t total = 0;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (i > 0) EXPECT_GT(batches[i].partition, prev);
+    prev = batches[i].partition;
+    partitions.insert(batches[i].partition);
+    total += batches[i].tuples.size();
+    for (const Tuple& t : batches[i].tuples) {
+      EXPECT_EQ(deref->PartitionOfPointer(t.pointer), batches[i].partition);
+    }
+  }
+  EXPECT_EQ(total, 40u);
+  EXPECT_EQ(partitions.size(), batches.size());  // one batch per partition
+
+  // Duplicate pointers are preserved (dedup happens at resolution time).
+  auto dups = CoalesceByPartition({KeyedTuple(3), KeyedTuple(3), KeyedTuple(3)},
+                                  *deref, 8);
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_EQ(dups[0].tuples.size(), 3u);
+
+  // max_batch_size splits an oversized same-partition group.
+  std::vector<Tuple> same;
+  for (int i = 0; i < 10; ++i) same.push_back(KeyedTuple(3));
+  auto split = CoalesceByPartition(std::move(same), *deref, 4);
+  ASSERT_EQ(split.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(split[0].tuples.size(), 4u);
+  EXPECT_EQ(split[1].tuples.size(), 4u);
+  EXPECT_EQ(split[2].tuples.size(), 2u);
+}
+
+// ------------------------------------------- batched reads through the file
+
+struct BatchFileFixture : ::testing::Test {
+  BatchFileFixture() : cluster(sim::ClusterOptions::ForNodes(2)) {
+    file = std::make_shared<io::PartitionedFile>(
+        "base", std::make_shared<io::HashPartitioner>(4), &cluster);
+    for (int64_t i = 0; i < 64; ++i) {
+      std::string key = io::EncodeInt64Key(i);
+      LH_CHECK(file->Append(key, key, io::Record("r" + std::to_string(i)))
+                   .ok());
+    }
+    file->Seal();
+  }
+
+  sim::Cluster cluster;
+  std::shared_ptr<io::PartitionedFile> file;
+};
+
+TEST_F(BatchFileFixture, GetBatchInPartitionChargesOneReadForManyKeys) {
+  uint32_t partition = file->partitioner().PartitionOf(io::EncodeInt64Key(5));
+  std::vector<std::string> keys;
+  for (int64_t i = 0; i < 64; ++i) {
+    std::string key = io::EncodeInt64Key(i);
+    if (file->partitioner().PartitionOf(key) == partition) keys.push_back(key);
+  }
+  ASSERT_GE(keys.size(), 3u);
+  keys.push_back(io::EncodeInt64Key(10'000));  // a miss inside the batch
+
+  cluster.ResetStats();
+  std::vector<std::vector<io::Record>> batched;
+  ASSERT_TRUE(
+      file->GetBatchInPartition(0, partition, keys, &batched).ok());
+  sim::ResourceTotals stats = cluster.TotalStats();
+  EXPECT_EQ(stats.random_reads, 1u);  // ONE fused read for the whole batch
+  EXPECT_EQ(stats.batched_reads, 1u);
+  EXPECT_EQ(stats.batched_ops, keys.size());
+
+  // Same results as per-key lookups (which cost one read each).
+  cluster.ResetStats();
+  ASSERT_EQ(batched.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::vector<io::Record> single;
+    ASSERT_TRUE(file->GetInPartition(0, partition, keys[i], &single).ok());
+    EXPECT_EQ(batched[i], single) << keys[i];
+  }
+  EXPECT_EQ(cluster.TotalStats().random_reads, keys.size());
+  EXPECT_TRUE(batched.back().empty());  // the missing key resolved to nothing
+}
+
+TEST_F(BatchFileFixture, ExecuteBatchMatchesSequentialExecute) {
+  StageFunctionPtr deref = MakePointDereferencer("deref", file);
+  std::vector<Tuple> inputs;
+  for (int64_t i = 0; i < 32; ++i) inputs.push_back(KeyedTuple(i % 20));
+
+  ExecContext ctx{0, &cluster, nullptr, nullptr};
+  std::vector<Tuple> sequential;
+  for (const Tuple& t : inputs) {
+    ASSERT_TRUE(deref->Execute(ctx, t, &sequential).ok());
+  }
+
+  cluster.ResetStats();
+  std::vector<Tuple> batched;
+  ASSERT_TRUE(deref->ExecuteBatch(ctx, inputs, &batched).ok());
+  // One fused read per partition touched (duplicates resolved once), never
+  // one per pointer.
+  EXPECT_LE(cluster.TotalStats().random_reads, 4u);
+
+  auto canonical = [](const std::vector<Tuple>& tuples) {
+    std::multiset<std::string> rows;
+    for (const Tuple& t : tuples) {
+      std::string row;
+      for (const io::Record& r : t.records) {
+        row += r.bytes();
+        row += '#';
+      }
+      rows.insert(std::move(row));
+    }
+    return rows;
+  };
+  EXPECT_EQ(canonical(batched), canonical(sequential));
+}
+
+TEST_F(BatchFileFixture, ExecuteBatchPopulatesAndHitsTheCache) {
+  StageFunctionPtr deref = MakePointDereferencer("deref", file);
+  RecordCache cache(SmallCache(1 << 20, /*shards=*/4));
+  ExecContext ctx{0, &cluster, nullptr, &cache};
+
+  std::vector<Tuple> inputs;
+  for (int64_t i = 0; i < 16; ++i) inputs.push_back(KeyedTuple(i));
+  std::vector<Tuple> first;
+  ASSERT_TRUE(deref->ExecuteBatch(ctx, inputs, &first).ok());
+  EXPECT_EQ(cache.entries(), 16u);
+  EXPECT_EQ(cache.inflight(), 0u);
+
+  cluster.ResetStats();
+  std::vector<Tuple> second;
+  ASSERT_TRUE(deref->ExecuteBatch(ctx, inputs, &second).ok());
+  EXPECT_EQ(cluster.TotalStats().random_reads, 0u);  // served from cache
+  EXPECT_EQ(cache.stats().hits, 16u);
+  EXPECT_EQ(second.size(), first.size());
+  EXPECT_TRUE(cache.CheckConsistency());
+}
+
+}  // namespace
+}  // namespace lakeharbor::rede

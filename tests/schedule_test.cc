@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "index/index_entry.h"
+#include "io/key_codec.h"
+#include "rede/builtin_derefs.h"
+#include "rede/builtin_refs.h"
+#include "rede/engine.h"
+#include "rede/smpe_executor.h"
+#include "sim/cluster.h"
+
+namespace lakeharbor::rede {
+namespace {
+
+/// Deterministic-schedule SMPE tests: with `deterministic_seed` set, the
+/// executor runs single-threaded, drawing the next (node, task) choice from
+/// a seeded PRNG, so any interleaving it exhibits is replayable bit-for-bit
+/// from the seed alone. Results and schedule-independent metrics must be
+/// identical across seeds AND identical to the real threaded executor.
+struct ScheduleFixture : ::testing::Test {
+  static constexpr int kEmployees = 120;
+  static constexpr int kDepts = 10;
+
+  ScheduleFixture() : cluster(sim::ClusterOptions::ForNodes(4)) {
+    engine = std::make_unique<Engine>(&cluster, EngineOptions{});
+    auto emp = std::make_shared<io::PartitionedFile>(
+        "emp", std::make_shared<io::HashPartitioner>(8), &cluster);
+    for (int i = 0; i < kEmployees; ++i) {
+      std::string key = io::EncodeInt64Key(i);
+      LH_CHECK(emp->Append(key, key,
+                           io::Record(StrFormat("%d|emp%d|%d", i, i,
+                                                i % kDepts)))
+                   .ok());
+    }
+    emp->Seal();
+    LH_CHECK(engine->catalog().Register(emp).ok());
+
+    auto dept = std::make_shared<io::PartitionedFile>(
+        "dept", std::make_shared<io::HashPartitioner>(4), &cluster);
+    for (int d = 0; d < kDepts; ++d) {
+      std::string key = io::EncodeInt64Key(d);
+      LH_CHECK(
+          dept->Append(key, key, io::Record(StrFormat("%d|dept%d", d, d)))
+              .ok());
+    }
+    dept->Seal();
+    LH_CHECK(engine->catalog().Register(dept).ok());
+
+    index::IndexSpec spec;
+    spec.index_name = "emp.dept.idx";
+    spec.base_file = "emp";
+    spec.placement = index::IndexPlacement::kGlobal;
+    spec.extract = [](const io::Record& record,
+                      std::vector<index::Posting>* out) -> Status {
+      std::string_view row = record.slice().view();
+      index::Posting posting;
+      LH_ASSIGN_OR_RETURN(int64_t dept, ParseInt64(FieldAt(row, '|', 2)));
+      LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
+      posting.index_key = io::EncodeInt64Key(dept);
+      posting.target_partition_key = io::EncodeInt64Key(id);
+      posting.target_key = posting.target_partition_key;
+      out->push_back(std::move(posting));
+      return Status::OK();
+    };
+    LH_CHECK(engine->BuildStructure(spec, "dept").ok());
+  }
+
+  /// Index scan → inline Referencer cascade → two point-deref joins: the
+  /// stage chain exercising every routing path (broadcast range, inline
+  /// referencers, keyed point lookups).
+  StatusOr<Job> DeptJoinJob() {
+    LH_ASSIGN_OR_RETURN(auto emp, engine->catalog().Get("emp"));
+    LH_ASSIGN_OR_RETURN(auto dept, engine->catalog().Get("dept"));
+    LH_ASSIGN_OR_RETURN(auto idx_file, engine->catalog().Get("emp.dept.idx"));
+    auto idx = std::dynamic_pointer_cast<io::BtreeFile>(idx_file);
+    LH_CHECK(idx != nullptr);
+    return JobBuilder("dept-join")
+        .Initial(Tuple::Range(io::Pointer::Broadcast(io::EncodeInt64Key(0)),
+                              io::Pointer::Broadcast(
+                                  io::EncodeInt64Key(kDepts - 1))))
+        .Add(MakeRangeDereferencer("deref-idx", idx))
+        .Add(MakeIndexEntryReferencer("ref-entry"))
+        .Add(MakePointDereferencer("deref-emp", emp))
+        .Add(MakeKeyReferencer("ref-dept", EncodedInt64FieldInterpreter(2)))
+        .Add(MakePointDereferencer("deref-dept", dept))
+        .Build();
+  }
+
+  struct Run {
+    std::vector<std::string> ordered;  // output rows in emission order
+    std::multiset<std::string> rows;   // unordered canonical result set
+    MetricsSnapshot metrics;
+  };
+
+  static std::string RowOf(const Tuple& tuple) {
+    std::string row;
+    for (const io::Record& r : tuple.records) {
+      row += r.bytes();
+      row += '#';
+    }
+    return row;
+  }
+
+  StatusOr<Run> RunWith(const Job& job, SmpeOptions options) {
+    SmpeExecutor executor(&cluster, options);
+    Run run;
+    LH_ASSIGN_OR_RETURN(JobResult result,
+                        executor.Execute(job, [&run](const Tuple& tuple) {
+                          run.ordered.push_back(RowOf(tuple));
+                        }));
+    run.rows = std::multiset<std::string>(run.ordered.begin(),
+                                          run.ordered.end());
+    run.metrics = result.metrics;
+    return run;
+  }
+
+  static SmpeOptions Seeded(uint64_t seed) {
+    SmpeOptions options;
+    options.deterministic_seed = seed;
+    options.threads_per_node = 1;  // ignored in seeded mode; keep it tiny
+    return options;
+  }
+
+  /// The metrics that are a pure function of the task DAG, independent of
+  /// which valid schedule the executor happens to walk.
+  static void ExpectScheduleIndependentMetricsEq(const MetricsSnapshot& a,
+                                                 const MetricsSnapshot& b) {
+    EXPECT_EQ(a.ref_invocations, b.ref_invocations);
+    EXPECT_EQ(a.deref_invocations, b.deref_invocations);
+    EXPECT_EQ(a.tuples_emitted, b.tuples_emitted);
+    EXPECT_EQ(a.broadcasts, b.broadcasts);
+    EXPECT_EQ(a.output_tuples, b.output_tuples);
+    ASSERT_EQ(a.per_stage.size(), b.per_stage.size());
+    for (size_t s = 0; s < a.per_stage.size(); ++s) {
+      EXPECT_EQ(a.per_stage[s].invocations, b.per_stage[s].invocations) << s;
+      EXPECT_EQ(a.per_stage[s].emitted, b.per_stage[s].emitted) << s;
+    }
+  }
+
+  sim::Cluster cluster;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST_F(ScheduleFixture, SeedsAgreeWithEachOtherAndWithThreadedExecution) {
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto threaded = RunWith(*job, SmpeOptions{});
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(threaded->rows.size(), static_cast<size_t>(kEmployees));
+
+  for (uint64_t seed : {1ull, 2ull, 3ull, 42ull, 20260806ull}) {
+    auto seeded = RunWith(*job, Seeded(seed));
+    ASSERT_TRUE(seeded.ok()) << "seed " << seed;
+    EXPECT_EQ(seeded->rows, threaded->rows) << "seed " << seed;
+    ExpectScheduleIndependentMetricsEq(seeded->metrics, threaded->metrics);
+    // Single-threaded by construction.
+    EXPECT_LE(seeded->metrics.peak_parallel_derefs, 1);
+  }
+}
+
+TEST_F(ScheduleFixture, SameSeedReplaysTheExactInterleaving) {
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto first = RunWith(*job, Seeded(42));
+  auto second = RunWith(*job, Seeded(42));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Not just the same SET — the same emission ORDER, task for task.
+  EXPECT_EQ(first->ordered, second->ordered);
+  ExpectScheduleIndependentMetricsEq(first->metrics, second->metrics);
+  EXPECT_EQ(first->metrics.retries, second->metrics.retries);
+}
+
+TEST_F(ScheduleFixture, BroadcastFanOutIsScheduleIndependent) {
+  auto emp = engine->catalog().Get("emp");
+  auto dept = engine->catalog().Get("dept");
+  ASSERT_TRUE(emp.ok());
+  ASSERT_TRUE(dept.ok());
+  // A mid-job broadcast: fetch one employee, then replicate its dept pointer
+  // to all 4 nodes, each resolving its local partitions.
+  auto job =
+      JobBuilder("bcast-join")
+          .Initial(Tuple::Point(io::Pointer::Keyed(io::EncodeInt64Key(7))))
+          .Add(MakePointDereferencer("deref-emp", *emp))
+          .Add(MakeBroadcastReferencer("ref-dept",
+                                       EncodedInt64FieldInterpreter(2)))
+          .Add(MakePointDereferencer("deref-dept", *dept))
+          .Build();
+  ASSERT_TRUE(job.ok());
+
+  auto threaded = RunWith(*job, SmpeOptions{});
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(threaded->rows.size(), 1u);  // unique keys: one joined row
+  for (uint64_t seed : {7ull, 8ull, 9ull}) {
+    auto seeded = RunWith(*job, Seeded(seed));
+    ASSERT_TRUE(seeded.ok());
+    EXPECT_EQ(seeded->rows, threaded->rows);
+    EXPECT_EQ(seeded->metrics.broadcasts, 1u);
+    // One emp fetch plus one replica task per node from the fan-out.
+    EXPECT_EQ(seeded->metrics.deref_invocations, 1u + cluster.num_nodes());
+  }
+}
+
+TEST_F(ScheduleFixture, RetryThenSucceedReplaysUnderSeededSchedules) {
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto clean = RunWith(*job, Seeded(1));
+  ASSERT_TRUE(clean.ok());
+
+  SmpeOptions retrying = Seeded(5);
+  retrying.retry.max_retries = 6;
+  retrying.retry.backoff_initial_us = 1;
+  retrying.retry.backoff_max_us = 10;
+
+  auto arm_faults = [this] {
+    // Re-arm before every run: InjectFaultEvery counts operations from the
+    // moment it is set, so re-arming rewinds the deterministic fault stream.
+    for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+      cluster.node(n).disk().InjectFaultEvery(16);
+    }
+  };
+
+  arm_faults();
+  auto faulty1 = RunWith(*job, retrying);
+  ASSERT_TRUE(faulty1.ok()) << faulty1.status().ToString();
+  EXPECT_EQ(faulty1->rows, clean->rows);
+  EXPECT_GT(faulty1->metrics.retries, 0u);
+
+  // Same seed + re-armed fault stream ⇒ the identical retry storm.
+  arm_faults();
+  auto faulty2 = RunWith(*job, retrying);
+  ASSERT_TRUE(faulty2.ok());
+  EXPECT_EQ(faulty2->ordered, faulty1->ordered);
+  EXPECT_EQ(faulty2->metrics.retries, faulty1->metrics.retries);
+  EXPECT_EQ(faulty2->metrics.retry_backoff_us,
+            faulty1->metrics.retry_backoff_us);
+
+  // Other seeds reorder the schedule (so faults land on different tasks)
+  // but the result set never changes.
+  for (uint64_t seed : {11ull, 12ull}) {
+    SmpeOptions other = retrying;
+    other.deterministic_seed = seed;
+    arm_faults();
+    auto run = RunWith(*job, other);
+    ASSERT_TRUE(run.ok()) << "seed " << seed;
+    EXPECT_EQ(run->rows, clean->rows) << "seed " << seed;
+  }
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    cluster.node(n).disk().ClearFault();
+  }
+}
+
+TEST_F(ScheduleFixture, BatchingAndCachingPreserveResultsUnderSeededRuns) {
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  auto reference = RunWith(*job, Seeded(1));
+  ASSERT_TRUE(reference.ok());
+
+  SmpeOptions tuned = Seeded(9);
+  tuned.batch.enabled = true;
+  tuned.batch.max_batch_size = 16;
+  tuned.cache.enabled = true;
+  tuned.cache.byte_budget = 1 << 20;
+
+  auto first = RunWith(*job, tuned);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->rows, reference->rows);
+  // The index-scan cascade emits many same-partition employee pointers per
+  // node: batching must have coalesced them.
+  EXPECT_GT(first->metrics.deref_batches, 0u);
+  EXPECT_GT(first->metrics.deref_batched_pointers,
+            first->metrics.deref_batches);
+  // Fewer dereference invocations than the unbatched plan.
+  EXPECT_LT(first->metrics.deref_invocations,
+            reference->metrics.deref_invocations);
+  // 120 employees share 10 dept rows: the dept deref stage must hit.
+  EXPECT_GT(first->metrics.cache_hits, 0u);
+  EXPECT_GT(first->metrics.cache_admissions, 0u);
+
+  // Replay: same seed, fresh executor (fresh cache) ⇒ identical everything.
+  auto second = RunWith(*job, tuned);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->ordered, first->ordered);
+  EXPECT_EQ(second->metrics.deref_batches, first->metrics.deref_batches);
+  EXPECT_EQ(second->metrics.cache_hits, first->metrics.cache_hits);
+  EXPECT_EQ(second->metrics.cache_misses, first->metrics.cache_misses);
+}
+
+}  // namespace
+}  // namespace lakeharbor::rede
