@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the chaos-labeled test suites (fault injection, deterministic
+# scheduling, replica failover / deadlines) under ThreadSanitizer and run
+# them. The chaos tests exercise every cross-thread handoff in the executor
+# stack — outage flips mid-run, hedge races, cancellation, queue drains — so
+# a TSan-clean pass is the "zero leaked inflight tasks, no torn state"
+# acceptance gate.
+#
+# Usage: scripts/run_chaos_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DLH_SANITIZE=thread \
+  -DLAKEHARBOR_BUILD_BENCHMARKS=OFF \
+  -DLAKEHARBOR_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos

@@ -16,10 +16,12 @@ uint32_t ResolvePartitions(rede::Engine& engine,
 /// Load '|'-delimited rows keyed by (encoded claim_id, encoded seq).
 Status LoadDetailTable(rede::Engine& engine, const char* name,
                        const std::vector<std::string>& rows,
-                       uint32_t partitions, size_t fanout) {
+                       uint32_t partitions, size_t fanout,
+                       uint32_t replication_factor) {
   auto file = std::make_shared<io::PartitionedFile>(
       name, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
+  file->SetReplicationFactor(replication_factor);
   for (const std::string& row : rows) {
     LH_ASSIGN_OR_RETURN(int64_t claim_id, ParseInt64(FieldAt(row, '|', 0)));
     LH_ASSIGN_OR_RETURN(int64_t seq, ParseInt64(FieldAt(row, '|', 1)));
@@ -40,6 +42,7 @@ Status LoadRawClaims(rede::Engine& engine, const ClaimsData& data,
   auto file = std::make_shared<io::PartitionedFile>(
       names::kRawClaims, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), options.btree_fanout);
+  file->SetReplicationFactor(options.replication_factor);
   for (const std::string& raw : data.raw) {
     io::Record record{std::string(raw)};
     LH_ASSIGN_OR_RETURN(int64_t id, ExtractClaimId(record));
@@ -113,6 +116,7 @@ Status LoadWarehouseClaims(rede::Engine& engine, const ClaimsData& data,
   auto claims_file = std::make_shared<io::PartitionedFile>(
       names::kWhClaims, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
+  claims_file->SetReplicationFactor(options.replication_factor);
   for (const std::string& row : claim_rows) {
     LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
     std::string key = io::EncodeInt64Key(id);
@@ -123,11 +127,14 @@ Status LoadWarehouseClaims(rede::Engine& engine, const ClaimsData& data,
   LH_RETURN_NOT_OK(engine.catalog().Register(claims_file));
 
   LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhDiagnosis,
-                                   diagnosis_rows, partitions, fanout));
+                                   diagnosis_rows, partitions, fanout,
+                                   options.replication_factor));
   LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhPrescription,
-                                   prescription_rows, partitions, fanout));
+                                   prescription_rows, partitions, fanout,
+                                   options.replication_factor));
   LH_RETURN_NOT_OK(LoadDetailTable(engine, names::kWhTreatment,
-                                   treatment_rows, partitions, fanout));
+                                   treatment_rows, partitions, fanout,
+                                   options.replication_factor));
 
   // Global index over diagnosis disease codes.
   {

@@ -70,6 +70,9 @@ inline constexpr size_t kPoints = 4;
 struct ClaimsLoadOptions {
   uint32_t partitions = 0;  ///< 0 = one per node
   size_t btree_fanout = 64;
+  /// Replicas of every partition (tables and the indexes built over them,
+  /// which inherit it). 1 = the unreplicated seed layout.
+  uint32_t replication_factor = 1;
 };
 
 /// Load the raw claims + disease structure into a LakeHarbor engine.

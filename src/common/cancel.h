@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file cancel.h
+/// Cooperative cancellation for multi-threaded runs. One CancelToken is
+/// shared by every task of a run; the first permanent error or deadline
+/// expiry flips it, and everything that checks it afterwards drains without
+/// doing work. Tokens never force-kill threads — cancellation is observed
+/// at task boundaries, which is what keeps in-flight accounting exact.
+
+namespace lakeharbor {
+
+/// First-cause-wins cancellation flag. `cancelled()` is a cheap atomic
+/// check suitable for hot loops; the cause is stored under a mutex so the
+/// Status (a shared_ptr) is published safely.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation with a non-OK `cause`. The first caller wins and
+  /// gets `true`; later causes are dropped (the root cause is what the run
+  /// reports).
+  bool Cancel(Status cause) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelled_.load(std::memory_order_relaxed)) return false;
+    cause_ = std::move(cause);
+    cancelled_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The winning cause, or OK when not cancelled.
+  Status cause() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cause_;
+  }
+
+  /// Re-arm for a new run (callers must guarantee quiescence).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cause_ = Status::OK();
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> cancelled_{false};
+  Status cause_;
+};
+
+}  // namespace lakeharbor

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kInternal = 9,
   kResourceExhausted = 10,
   kUnavailable = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name ("IOError", "NotFound", ...).
@@ -82,6 +83,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -107,6 +111,9 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// True when the error is transient (kIoError / kUnavailable /
   /// kResourceExhausted) and a bounded retry is a sensible reaction.

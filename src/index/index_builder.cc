@@ -39,6 +39,9 @@ StatusOr<std::shared_ptr<io::BtreeFile>> IndexBuilder::Build(
   }
   auto index = std::make_shared<io::BtreeFile>(
       spec.index_name, std::move(partitioner), cluster, spec.btree_fanout);
+  index->SetReplicationFactor(spec.replication_factor != 0
+                                  ? spec.replication_factor
+                                  : base->replication_factor());
 
   std::vector<Posting> postings;
   // Entry writes are buffered per target partition and charged one page at
@@ -66,8 +69,11 @@ StatusOr<std::shared_ptr<io::BtreeFile>> IndexBuilder::Build(
             pending_bytes[target_partition] +=
                 entry.size() + posting.index_key.size();
             if (pending_bytes[target_partition] >= batch) {
-              scan_status = cluster->ChargeWrite(
-                  build_node, index->NodeOfPartition(target_partition),
+              // Every replica of the target partition receives the page —
+              // replication pays its write amplification at build time.
+              scan_status = cluster->ChargeReplicatedWrite(
+                  build_node,
+                  index->placement().ReplicaNodes(target_partition),
                   pending_bytes[target_partition]);
               pending_bytes[target_partition] = 0;
               if (!scan_status.ok()) return false;
@@ -84,9 +90,9 @@ StatusOr<std::shared_ptr<io::BtreeFile>> IndexBuilder::Build(
   }
   for (uint32_t t = 0; t < num_partitions; ++t) {
     if (pending_bytes[t] > 0) {
-      LH_RETURN_NOT_OK(cluster->ChargeWrite(index->NodeOfPartition(t),
-                                            index->NodeOfPartition(t),
-                                            pending_bytes[t]));
+      LH_RETURN_NOT_OK(cluster->ChargeReplicatedWrite(
+          index->NodeOfPartition(t), index->placement().ReplicaNodes(t),
+          pending_bytes[t]));
     }
   }
   index->Seal();

@@ -56,6 +56,10 @@ struct IndexSpec {
   /// prune to the partitions their key range intersects. Ignored for
   /// kLocal placement (local partitions mirror the base file 1:1).
   std::shared_ptr<io::Partitioner> partitioner;
+  /// Replication factor of the index itself. 0 (default) inherits the base
+  /// file's replication factor — an index over a replicated file should
+  /// survive the same outages as its base.
+  uint32_t replication_factor = 0;
 };
 
 /// Builds B-tree structures over lake files from registered access-method

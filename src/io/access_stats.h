@@ -18,6 +18,9 @@ struct AccessStats {
   std::atomic<uint64_t> bloom_skips{0};     ///< partition probes avoided
   std::atomic<uint64_t> batched_gets{0};    ///< GetBatchInPartition calls
   std::atomic<uint64_t> batched_keys{0};    ///< keys resolved by batch gets
+  std::atomic<uint64_t> failovers{0};       ///< io-level replica failovers
+                                            ///< (scans moving past a dead
+                                            ///< replica)
 
   uint64_t record_accesses() const {
     return records_read.load() + records_scanned.load();
@@ -33,6 +36,7 @@ struct AccessStats {
     bloom_skips = 0;
     batched_gets = 0;
     batched_keys = 0;
+    failovers = 0;
   }
 };
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "io/access_stats.h"
 #include "io/partitioner.h"
+#include "io/placement.h"
 #include "io/pointer.h"
 #include "io/record.h"
 #include "sim/cluster.h"
@@ -32,7 +33,8 @@ class File {
        sim::Cluster* cluster)
       : name_(std::move(name)),
         partitioner_(std::move(partitioner)),
-        cluster_(cluster) {
+        cluster_(cluster),
+        placement_(cluster->num_nodes(), 1) {
     LH_CHECK(partitioner_ != nullptr);
     LH_CHECK(cluster_ != nullptr);
   }
@@ -44,9 +46,29 @@ class File {
   uint32_t num_partitions() const { return partitioner_->num_partitions(); }
   sim::Cluster* cluster() const { return cluster_; }
 
+  /// Node holding the PRIMARY replica of `partition` — identical to the
+  /// unreplicated `p mod num_nodes` placement, whatever the replication
+  /// factor (replicas only ADD copies; they never move the primary).
   sim::NodeId NodeOfPartition(uint32_t partition) const {
-    return static_cast<sim::NodeId>(partition % cluster_->num_nodes());
+    return placement_.PrimaryNode(partition);
   }
+
+  sim::NodeId NodeOfReplica(uint32_t partition, uint32_t replica) const {
+    return placement_.ReplicaNode(partition, replica);
+  }
+
+  /// Replicate this file's partitions `rf`-way (clamped to the node
+  /// count). Placement-only in this simulation: replica reads hit the
+  /// replica node's devices, and ingest charges writes to every replica.
+  /// Call before or after loading — charging is the same either way since
+  /// record payloads are held once in memory.
+  void SetReplicationFactor(uint32_t rf) {
+    placement_ = PlacementMap(cluster_->num_nodes(), rf);
+  }
+  uint32_t replication_factor() const {
+    return placement_.replication_factor();
+  }
+  const PlacementMap& placement() const { return placement_; }
 
   /// Resolve a pointer (must carry partition information) to the records
   /// with the matching in-partition key. An empty result is not an error.
@@ -54,10 +76,22 @@ class File {
                      std::vector<Record>* out) = 0;
 
   /// Resolve a key within one specific partition — used by the executor to
-  /// serve broadcast pointers locally.
+  /// serve broadcast pointers locally. Reads the primary replica.
   virtual Status GetInPartition(sim::NodeId compute_node, uint32_t partition,
                                 const std::string& key,
                                 std::vector<Record>* out) = 0;
+
+  /// Like GetInPartition but reads the given replica's copy (device charges
+  /// go to NodeOfReplica(partition, replica)). Replica 0 is the primary.
+  /// The base implementation ignores the replica index and reads the
+  /// primary — correct for files that never call SetReplicationFactor.
+  virtual Status GetInPartitionOnReplica(sim::NodeId compute_node,
+                                         uint32_t partition, uint32_t replica,
+                                         const std::string& key,
+                                         std::vector<Record>* out) {
+    (void)replica;
+    return GetInPartition(compute_node, partition, key, out);
+  }
 
   /// Resolve many in-partition keys of ONE partition in a single fused
   /// device operation. `out` is resized to `keys.size()`; slot i receives
@@ -72,11 +106,31 @@ class File {
                                      const std::vector<std::string>& keys,
                                      std::vector<std::vector<Record>>* out);
 
+  /// Replica-addressed batch read; base implementation reads the primary.
+  virtual Status GetBatchInPartitionOnReplica(
+      sim::NodeId compute_node, uint32_t partition, uint32_t replica,
+      const std::vector<std::string>& keys,
+      std::vector<std::vector<Record>>* out) {
+    (void)replica;
+    return GetBatchInPartition(compute_node, partition, keys, out);
+  }
+
   /// Range lookups are only supported by BtreeFile.
   virtual Status GetRangeInPartition(sim::NodeId compute_node,
                                      uint32_t partition, const std::string& lo,
                                      const std::string& hi,
                                      const RecordVisitor& visit);
+
+  /// Replica-addressed range read; base implementation reads the primary.
+  virtual Status GetRangeInPartitionOnReplica(sim::NodeId compute_node,
+                                              uint32_t partition,
+                                              uint32_t replica,
+                                              const std::string& lo,
+                                              const std::string& hi,
+                                              const RecordVisitor& visit) {
+    (void)replica;
+    return GetRangeInPartition(compute_node, partition, lo, hi, visit);
+  }
 
   /// Visit every record of a partition in key order (sequential scan).
   virtual Status ScanPartition(sim::NodeId compute_node, uint32_t partition,
@@ -92,6 +146,7 @@ class File {
   std::string name_;
   std::shared_ptr<Partitioner> partitioner_;
   sim::Cluster* cluster_;
+  PlacementMap placement_;
   AccessStats access_stats_;
 };
 

@@ -51,10 +51,25 @@ Status PartitionedFile::CheckSealed() const {
   return Status::OK();
 }
 
+Status PartitionedFile::CheckPartitionAndReplica(uint32_t partition,
+                                                 uint32_t replica) const {
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range in file '" + name_ +
+                              "'");
+  }
+  if (replica >= replication_factor()) {
+    return Status::OutOfRange("replica " + std::to_string(replica) +
+                              " out of range in file '" + name_ + "' (rf=" +
+                              std::to_string(replication_factor()) + ")");
+  }
+  return Status::OK();
+}
+
 Status PartitionedFile::ChargeLookup(sim::NodeId compute_node,
-                                     uint32_t partition, size_t result_bytes,
+                                     uint32_t partition, uint32_t replica,
+                                     size_t result_bytes,
                                      size_t result_records) {
-  sim::NodeId storage_node = NodeOfPartition(partition);
+  sim::NodeId storage_node = NodeOfReplica(partition, replica);
   LH_RETURN_NOT_OK(cluster_->ChargeRandomRead(
       compute_node, storage_node, std::max(result_bytes, kMinProbeBytes)));
   access_stats_.records_read.fetch_add(result_records,
@@ -79,18 +94,24 @@ Status PartitionedFile::GetInPartition(sim::NodeId compute_node,
                                        uint32_t partition,
                                        const std::string& key,
                                        std::vector<Record>* out) {
+  return GetInPartitionOnReplica(compute_node, partition, /*replica=*/0, key,
+                                 out);
+}
+
+Status PartitionedFile::GetInPartitionOnReplica(sim::NodeId compute_node,
+                                                uint32_t partition,
+                                                uint32_t replica,
+                                                const std::string& key,
+                                                std::vector<Record>* out) {
   LH_RETURN_NOT_OK(CheckSealed());
-  if (partition >= partitions_.size()) {
-    return Status::OutOfRange("partition out of range in file '" + name_ +
-                              "'");
-  }
+  LH_RETURN_NOT_OK(CheckPartitionAndReplica(partition, replica));
   access_stats_.lookups.fetch_add(1, std::memory_order_relaxed);
   size_t before = out->size();
   partitions_[partition].tree->Get(key, out);
   size_t found = out->size() - before;
   size_t bytes = 0;
   for (size_t i = before; i < out->size(); ++i) bytes += (*out)[i].size();
-  return ChargeLookup(compute_node, partition, bytes, found);
+  return ChargeLookup(compute_node, partition, replica, bytes, found);
 }
 
 Status File::GetBatchInPartition(sim::NodeId compute_node, uint32_t partition,
@@ -109,11 +130,16 @@ Status PartitionedFile::GetBatchInPartition(
     sim::NodeId compute_node, uint32_t partition,
     const std::vector<std::string>& keys,
     std::vector<std::vector<Record>>* out) {
+  return GetBatchInPartitionOnReplica(compute_node, partition, /*replica=*/0,
+                                      keys, out);
+}
+
+Status PartitionedFile::GetBatchInPartitionOnReplica(
+    sim::NodeId compute_node, uint32_t partition, uint32_t replica,
+    const std::vector<std::string>& keys,
+    std::vector<std::vector<Record>>* out) {
   LH_RETURN_NOT_OK(CheckSealed());
-  if (partition >= partitions_.size()) {
-    return Status::OutOfRange("partition out of range in file '" + name_ +
-                              "'");
-  }
+  LH_RETURN_NOT_OK(CheckPartitionAndReplica(partition, replica));
   out->clear();
   out->resize(keys.size());
   if (keys.empty()) return Status::OK();
@@ -127,7 +153,7 @@ Status PartitionedFile::GetBatchInPartition(
   }
   // Charge BEFORE exposing results as read: if the fused device operation
   // faults, the caller sees an error and must discard `out` wholesale.
-  sim::NodeId storage_node = NodeOfPartition(partition);
+  sim::NodeId storage_node = NodeOfReplica(partition, replica);
   LH_RETURN_NOT_OK(cluster_->ChargeBatchRead(compute_node, storage_node,
                                              keys.size(),
                                              std::max(bytes, kMinProbeBytes)));
@@ -154,9 +180,26 @@ Status PartitionedFile::ScanPartitionKeyed(sim::NodeId compute_node,
                               "'");
   }
   const Partition& p = partitions_[partition];
-  sim::NodeId storage_node = NodeOfPartition(partition);
-  LH_RETURN_NOT_OK(cluster_->ChargeSequentialRead(
-      compute_node, storage_node, std::max<uint64_t>(p.bytes, kMinProbeBytes)));
+  // Scans fail over at the io layer (no executor involvement): a down
+  // primary is skipped in favor of the next live replica, and a replica
+  // whose charge comes back kUnavailable hands the scan to the next one.
+  // The charge happens BEFORE any record is visited, so switching replicas
+  // never double-delivers records.
+  const uint32_t rf = replication_factor();
+  Status charge;
+  for (uint32_t r = 0; r < rf; ++r) {
+    sim::NodeId storage_node = NodeOfReplica(partition, r);
+    if (r + 1 < rf && cluster_->NodeIsDown(storage_node)) {
+      access_stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    charge = cluster_->ChargeSequentialRead(
+        compute_node, storage_node,
+        std::max<uint64_t>(p.bytes, kMinProbeBytes));
+    if (charge.ok() || !charge.IsUnavailable() || r + 1 >= rf) break;
+    access_stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+  }
+  LH_RETURN_NOT_OK(charge);
   access_stats_.partition_scans.fetch_add(1, std::memory_order_relaxed);
   uint64_t visited = 0;
   p.tree->Scan([&](const std::string& key, const Record& record) {
@@ -178,13 +221,20 @@ Status BtreeFile::GetRangeInPartition(sim::NodeId compute_node,
                                       uint32_t partition, const std::string& lo,
                                       const std::string& hi,
                                       const RecordVisitor& visit) {
+  return GetRangeInPartitionOnReplica(compute_node, partition, /*replica=*/0,
+                                      lo, hi, visit);
+}
+
+Status BtreeFile::GetRangeInPartitionOnReplica(sim::NodeId compute_node,
+                                               uint32_t partition,
+                                               uint32_t replica,
+                                               const std::string& lo,
+                                               const std::string& hi,
+                                               const RecordVisitor& visit) {
   LH_RETURN_NOT_OK(CheckSealed());
-  if (partition >= partitions_.size()) {
-    return Status::OutOfRange("partition out of range in file '" + name_ +
-                              "'");
-  }
+  LH_RETURN_NOT_OK(CheckPartitionAndReplica(partition, replica));
   access_stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
-  sim::NodeId storage_node = NodeOfPartition(partition);
+  sim::NodeId storage_node = NodeOfReplica(partition, replica);
   // One random read for the index descent...
   LH_RETURN_NOT_OK(
       cluster_->ChargeRandomRead(compute_node, storage_node, kMinProbeBytes));

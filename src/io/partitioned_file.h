@@ -42,6 +42,11 @@ class PartitionedFile : public File {
   Status GetInPartition(sim::NodeId compute_node, uint32_t partition,
                         const std::string& key,
                         std::vector<Record>* out) override;
+  /// Replica-addressed point lookup: identical result from any replica, but
+  /// device charges land on NodeOfReplica(partition, replica)'s disk.
+  Status GetInPartitionOnReplica(sim::NodeId compute_node, uint32_t partition,
+                                 uint32_t replica, const std::string& key,
+                                 std::vector<Record>* out) override;
 
   /// Fused multi-key probe: one B-tree descent amortized over every key of
   /// the batch, charged as a single batch read (one seek plus cheap
@@ -49,6 +54,10 @@ class PartitionedFile : public File {
   Status GetBatchInPartition(sim::NodeId compute_node, uint32_t partition,
                              const std::vector<std::string>& keys,
                              std::vector<std::vector<Record>>* out) override;
+  Status GetBatchInPartitionOnReplica(
+      sim::NodeId compute_node, uint32_t partition, uint32_t replica,
+      const std::vector<std::string>& keys,
+      std::vector<std::vector<Record>>* out) override;
   Status ScanPartition(sim::NodeId compute_node, uint32_t partition,
                        const RecordVisitor& visit) override;
 
@@ -76,8 +85,10 @@ class PartitionedFile : public File {
   };
 
   Status CheckSealed() const;
+  Status CheckPartitionAndReplica(uint32_t partition, uint32_t replica) const;
   Status ChargeLookup(sim::NodeId compute_node, uint32_t partition,
-                      size_t result_bytes, size_t result_records);
+                      uint32_t replica, size_t result_bytes,
+                      size_t result_records);
 
   std::vector<Partition> partitions_;
   uint64_t num_records_ = 0;
@@ -98,6 +109,11 @@ class BtreeFile final : public PartitionedFile {
   Status GetRangeInPartition(sim::NodeId compute_node, uint32_t partition,
                              const std::string& lo, const std::string& hi,
                              const RecordVisitor& visit) override;
+  Status GetRangeInPartitionOnReplica(sim::NodeId compute_node,
+                                      uint32_t partition, uint32_t replica,
+                                      const std::string& lo,
+                                      const std::string& hi,
+                                      const RecordVisitor& visit) override;
 
   /// Range lookup across every partition, in partition order. Used when the
   /// indexed key is not the partitioning key (local secondary indexes).

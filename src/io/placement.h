@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/cluster.h"
+
+/// \file placement.h
+/// Replica placement of file partitions onto cluster nodes. The seed rule
+/// "partition p lives on node p mod N" becomes "replica r of partition p
+/// lives on node (p + r) mod N": replica 0 (the PRIMARY) is exactly the old
+/// placement, so replication_factor = 1 reproduces today's layout
+/// bit-for-bit, and successive replicas land on distinct nodes by
+/// construction (chained declustering). Replication is capped at the node
+/// count — more copies than nodes cannot be placed on distinct nodes.
+
+namespace lakeharbor::io {
+
+class PlacementMap {
+ public:
+  PlacementMap() : PlacementMap(1, 1) {}
+  PlacementMap(uint32_t num_nodes, uint32_t replication_factor)
+      : num_nodes_(num_nodes == 0 ? 1 : num_nodes),
+        replication_(Clamp(replication_factor, num_nodes_)) {}
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t replication_factor() const { return replication_; }
+
+  /// Node holding replica `replica` of `partition`. Replica 0 is the
+  /// primary — identical to the unreplicated placement.
+  sim::NodeId ReplicaNode(uint32_t partition, uint32_t replica) const {
+    LH_CHECK(replica < replication_);
+    return static_cast<sim::NodeId>((partition + replica) % num_nodes_);
+  }
+
+  sim::NodeId PrimaryNode(uint32_t partition) const {
+    return ReplicaNode(partition, 0);
+  }
+
+  /// All nodes holding a copy of `partition`, primary first.
+  std::vector<sim::NodeId> ReplicaNodes(uint32_t partition) const {
+    std::vector<sim::NodeId> nodes;
+    nodes.reserve(replication_);
+    for (uint32_t r = 0; r < replication_; ++r) {
+      nodes.push_back(ReplicaNode(partition, r));
+    }
+    return nodes;
+  }
+
+  /// Lowest replica index whose node is currently up, or nullopt when every
+  /// holder of `partition` is down.
+  std::optional<uint32_t> FirstLiveReplica(const sim::Cluster& cluster,
+                                           uint32_t partition) const {
+    for (uint32_t r = 0; r < replication_; ++r) {
+      if (!cluster.NodeIsDown(ReplicaNode(partition, r))) return r;
+    }
+    return std::nullopt;
+  }
+
+  /// Replica index of `partition` held by `node`, or nullopt when the node
+  /// holds no copy.
+  std::optional<uint32_t> ReplicaOnNode(uint32_t partition,
+                                        sim::NodeId node) const {
+    const uint32_t r =
+        (node + num_nodes_ - (partition % num_nodes_)) % num_nodes_;
+    if (r < replication_) return r;
+    return std::nullopt;
+  }
+
+ private:
+  static uint32_t Clamp(uint32_t rf, uint32_t num_nodes) {
+    if (rf < 1) return 1;
+    return rf > num_nodes ? num_nodes : rf;
+  }
+
+  uint32_t num_nodes_;
+  uint32_t replication_;
+};
+
+}  // namespace lakeharbor::io

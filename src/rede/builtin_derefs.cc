@@ -1,7 +1,13 @@
 #include "rede/builtin_derefs.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -10,6 +16,58 @@
 namespace lakeharbor::rede {
 
 namespace {
+
+/// Count one event on the run metrics, tolerating contexts without metrics
+/// (direct stage-function calls in tests).
+void Bump(const ExecContext& ctx,
+          std::atomic<uint64_t> ExecMetricsCounters::*member) {
+  if (ctx.metrics != nullptr) {
+    (ctx.metrics->*member).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Issue a partition read with transparent replica failover. `read` is
+/// invoked with a replica index and must be restartable (clear its outputs
+/// on entry): replicas known to be down are skipped without a probe, and a
+/// replica answering kUnavailable (outage raced the liveness check) hands
+/// the read to the next one — BEFORE any retry backoff, which is what keeps
+/// a whole-node outage from burning the retry budget against a dead disk.
+/// Only kUnavailable fails over: other transient errors (kIoError) are a
+/// device hiccup, not a dead node, and stay with the retry policy.
+/// When every replica is down the primary is probed anyway so the caller
+/// sees the real outage error.
+template <typename ReadFn>
+Status ReadWithFailover(const ExecContext& ctx, const io::File& file,
+                        uint32_t partition, const ReadFn& read) {
+  const uint32_t rf = file.replication_factor();
+  if (rf <= 1 || ctx.cluster == nullptr) return read(0);
+  Status last;
+  bool attempted = false;
+  for (uint32_t r = 0; r < rf; ++r) {
+    if (ctx.cluster->NodeIsDown(file.NodeOfReplica(partition, r))) {
+      Bump(ctx, &ExecMetricsCounters::failovers);
+      continue;
+    }
+    if (attempted) Bump(ctx, &ExecMetricsCounters::failovers);
+    if (r > 0) Bump(ctx, &ExecMetricsCounters::replica_reads);
+    Status status = read(r);
+    attempted = true;
+    if (status.ok() || !status.IsUnavailable()) return status;
+    last = status;
+  }
+  if (!attempted) return read(0);
+  return last;
+}
+
+/// One side of a hedged read: the spawned primary arm publishes its result
+/// here; the calling thread waits with a deadline.
+struct HedgeArm {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<io::Record> records;
+};
 
 /// Append `record` to a copy of `input`'s bundle, run the filter, and emit.
 Status EmitFetched(const Tuple& input, const io::Record& record,
@@ -44,6 +102,10 @@ class PointDereferencer final : public Dereferencer {
     return file_->partitioner().PartitionOf(ptr.partition_key);
   }
 
+  uint32_t TargetReplication() const override {
+    return file_->replication_factor();
+  }
+
   Status Execute(const ExecContext& ctx, const Tuple& input,
                  std::vector<Tuple>* out) const override {
     if (input.is_range) {
@@ -62,9 +124,14 @@ class PointDereferencer final : public Dereferencer {
       // partitions local to this node (Algorithm 1: SETPARTITION(input,
       // LOCAL)). Without the mark (partitioned executor: no cross-node task
       // shipping) the single owner consults every partition, paying remote
-      // reads instead of broadcast messages.
+      // reads instead of broadcast messages. A redirected copy (its target
+      // node was down at fan-out) carries that node's id in resolve_owner:
+      // this node stands in for it, resolving ITS partitions via failover.
+      const sim::NodeId owner = input.resolve_owner == Tuple::kResolveOnSelf
+                                    ? ctx.node
+                                    : input.resolve_owner;
       for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
-        if (input.resolve_local && file_->NodeOfPartition(p) != ctx.node) {
+        if (input.resolve_local && file_->NodeOfPartition(p) != owner) {
           continue;
         }
         if (bloom_ != nullptr &&
@@ -129,9 +196,16 @@ class PointDereferencer final : public Dereferencer {
       return error;
     };
     for (auto& [partition, keys] : missing) {
+      // The fused batch read fails over like a point read (hedging is a
+      // point-lookup latency tool and does not apply to batches).
       std::vector<std::vector<io::Record>> results;
-      Status read =
-          file_->GetBatchInPartition(ctx.node, partition, keys, &results);
+      Status read = ReadWithFailover(
+          ctx, *file_, partition, [&](uint32_t replica) {
+            results.clear();
+            return file_->GetBatchInPartitionOnReplica(ctx.node, partition,
+                                                       replica, keys,
+                                                       &results);
+          });
       if (!read.ok()) return unwind(read);
       LH_CHECK(results.size() == keys.size());
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -171,12 +245,16 @@ class PointDereferencer final : public Dereferencer {
   /// Probe one partition for `key`, consulting the record cache when the
   /// context carries one. Admission is two-phase (reserve → read → commit or
   /// abort) so a concurrent admitter of the same key cannot double-admit.
+  /// Device reads go through ReadReplicated (failover + optional hedging).
   Status FetchOne(const ExecContext& ctx, uint32_t partition,
                   const std::string& key,
                   std::vector<io::Record>* fetched) const {
     RecordCache* cache = ctx.record_cache;
     if (cache == nullptr) {
-      return file_->GetInPartition(ctx.node, partition, key, fetched);
+      std::vector<io::Record> read;
+      LH_RETURN_NOT_OK(ReadReplicated(ctx, partition, key, &read));
+      fetched->insert(fetched->end(), read.begin(), read.end());
+      return Status::OK();
     }
     std::string ck = RecordCache::MakeKey(file_->name(), partition, key);
     if (auto hit = cache->Lookup(ck)) {
@@ -185,7 +263,7 @@ class PointDereferencer final : public Dereferencer {
     }
     const bool admitting = cache->StartAdmission(ck);
     std::vector<io::Record> read;
-    Status status = file_->GetInPartition(ctx.node, partition, key, &read);
+    Status status = ReadReplicated(ctx, partition, key, &read);
     if (!status.ok()) {
       if (admitting) cache->AbortAdmission(ck);
       return status;
@@ -193,6 +271,100 @@ class PointDereferencer final : public Dereferencer {
     if (admitting) cache->CommitAdmission(ck, read);
     fetched->insert(fetched->end(), read.begin(), read.end());
     return status;
+  }
+
+  /// Replica-aware point read of one (partition, key): hedged when the run
+  /// enables hedging and >= 2 replicas are live, sequential failover
+  /// otherwise. `read` is cleared and receives the adopted result.
+  Status ReadReplicated(const ExecContext& ctx, uint32_t partition,
+                        const std::string& key,
+                        std::vector<io::Record>* read) const {
+    if (ctx.hedge.enabled && ctx.stragglers != nullptr) {
+      if (std::optional<Status> hedged =
+              TryHedgedRead(ctx, partition, key, read)) {
+        if (hedged->ok() || !hedged->IsUnavailable()) return *hedged;
+        // An outage surfaced mid-hedge (both raced replicas went down):
+        // fall back to sequential failover over the full replica set.
+        read->clear();
+      }
+    }
+    return ReadWithFailover(ctx, *file_, partition, [&](uint32_t replica) {
+      read->clear();
+      return file_->GetInPartitionOnReplica(ctx.node, partition, replica, key,
+                                            read);
+    });
+  }
+
+  /// Race two live replicas: the first (usually the primary) runs on a
+  /// spawned arm; if it is still quiet after hedge.deadline_us the second
+  /// is read synchronously and, on success, adopted — the straggler arm is
+  /// parked with the run's reaper and joined before Execute returns, and
+  /// its result is dropped without touching metrics or emissions (the
+  /// discarded arm's device charges remain: hedging trades device work for
+  /// tail latency). Returns nullopt when fewer than two replicas are live
+  /// (caller falls back to sequential failover).
+  std::optional<Status> TryHedgedRead(const ExecContext& ctx,
+                                      uint32_t partition,
+                                      const std::string& key,
+                                      std::vector<io::Record>* read) const {
+    const uint32_t rf = file_->replication_factor();
+    if (rf < 2 || ctx.cluster == nullptr) return std::nullopt;
+    uint32_t live[2] = {0, 0};
+    uint32_t n = 0;
+    for (uint32_t r = 0; r < rf && n < 2; ++r) {
+      if (!ctx.cluster->NodeIsDown(file_->NodeOfReplica(partition, r))) {
+        live[n++] = r;
+      }
+    }
+    if (n < 2) return std::nullopt;
+
+    auto arm = std::make_shared<HedgeArm>();
+    // The arm captures everything it touches by value/shared_ptr: a parked
+    // straggler may outlive this call (but never the run).
+    std::shared_ptr<io::File> file = file_;
+    const sim::NodeId node = ctx.node;
+    const uint32_t primary = live[0];
+    std::thread runner([arm, file, node, partition, primary, key]() {
+      std::vector<io::Record> records;
+      Status status =
+          file->GetInPartitionOnReplica(node, partition, primary, key,
+                                        &records);
+      std::lock_guard<std::mutex> lock(arm->mutex);
+      arm->status = std::move(status);
+      arm->records = std::move(records);
+      arm->done = true;
+      arm->cv.notify_all();
+    });
+
+    {
+      std::unique_lock<std::mutex> lock(arm->mutex);
+      if (arm->cv.wait_for(lock,
+                           std::chrono::microseconds(ctx.hedge.deadline_us),
+                           [&] { return arm->done; })) {
+        lock.unlock();
+        runner.join();
+        *read = std::move(arm->records);
+        return arm->status;
+      }
+    }
+    // Deadline passed with the primary still in flight: hedge.
+    Bump(ctx, &ExecMetricsCounters::hedged_reads);
+    if (primary != live[1] && live[1] > 0) {
+      Bump(ctx, &ExecMetricsCounters::replica_reads);
+    }
+    std::vector<io::Record> secondary;
+    Status status = file_->GetInPartitionOnReplica(ctx.node, partition,
+                                                   live[1], key, &secondary);
+    if (status.ok()) {
+      Bump(ctx, &ExecMetricsCounters::hedge_wins);
+      ctx.stragglers->Park(std::move(runner));
+      *read = std::move(secondary);
+      return status;
+    }
+    // The hedge failed; the primary arm is still authoritative.
+    runner.join();
+    *read = std::move(arm->records);
+    return arm->status;
   }
 
   std::shared_ptr<io::File> file_;
@@ -215,6 +387,10 @@ class RangeDereferencer final : public Dereferencer {
     return routing_ == RangeRouting::kBroadcast;
   }
 
+  uint32_t TargetReplication() const override {
+    return file_->replication_factor();
+  }
+
   Status Execute(const ExecContext& ctx, const Tuple& input,
                  std::vector<Tuple>* out) const override {
     if (!input.is_range) {
@@ -226,12 +402,25 @@ class RangeDereferencer final : public Dereferencer {
       emit_status = EmitFetched(input, record, filter_, out);
       return emit_status.ok();
     };
+    // A range read emits WHILE iterating, so switching replicas must first
+    // retract what the failed attempt emitted: the wrapper snapshots the
+    // output size and truncates back before every attempt — exactly-once
+    // emission whatever replica ends up serving the range.
+    auto range_with_failover = [&](uint32_t partition) {
+      const size_t out_mark = out->size();
+      return ReadWithFailover(ctx, *file_, partition, [&](uint32_t replica) {
+        out->resize(out_mark);
+        emit_status = Status::OK();
+        return file_->GetRangeInPartitionOnReplica(ctx.node, partition,
+                                                   replica, input.pointer.key,
+                                                   input.pointer_hi.key,
+                                                   visit);
+      });
+    };
     if (input.pointer.has_partition) {
       uint32_t partition =
           file_->partitioner().PartitionOf(input.pointer.partition_key);
-      LH_RETURN_NOT_OK(file_->GetRangeInPartition(
-          ctx.node, partition, input.pointer.key, input.pointer_hi.key,
-          visit));
+      LH_RETURN_NOT_OK(range_with_failover(partition));
     } else if (routing_ == RangeRouting::kPruneByKeyRange) {
       // The structure is partitioned by the indexed key with an
       // order-preserving partitioner: only the partitions whose key range
@@ -240,17 +429,19 @@ class RangeDereferencer final : public Dereferencer {
       uint32_t hi_p = file_->partitioner().PartitionOf(input.pointer_hi.key);
       if (hi_p < lo_p) std::swap(lo_p, hi_p);  // defensive
       for (uint32_t p = lo_p; p <= hi_p; ++p) {
-        LH_RETURN_NOT_OK(file_->GetRangeInPartition(
-            ctx.node, p, input.pointer.key, input.pointer_hi.key, visit));
+        LH_RETURN_NOT_OK(range_with_failover(p));
       }
     } else {
-      // Same broadcast-resolution rule as the point dereferencer above.
+      // Same broadcast-resolution (and redirect stand-in) rule as the point
+      // dereferencer above.
+      const sim::NodeId owner = input.resolve_owner == Tuple::kResolveOnSelf
+                                    ? ctx.node
+                                    : input.resolve_owner;
       for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
-        if (input.resolve_local && file_->NodeOfPartition(p) != ctx.node) {
+        if (input.resolve_local && file_->NodeOfPartition(p) != owner) {
           continue;
         }
-        LH_RETURN_NOT_OK(file_->GetRangeInPartition(
-            ctx.node, p, input.pointer.key, input.pointer_hi.key, visit));
+        LH_RETURN_NOT_OK(range_with_failover(p));
       }
     }
     return emit_status;
@@ -274,6 +465,10 @@ class RetryingDereferencer final : public Dereferencer {
   }
 
   bool WantsBroadcast() const override { return inner_->WantsBroadcast(); }
+
+  uint32_t TargetReplication() const override {
+    return inner_->TargetReplication();
+  }
 
   bool SupportsBatchedDereference() const override {
     return inner_->SupportsBatchedDereference();

@@ -43,6 +43,18 @@ struct ExecMetricsCounters {
   std::atomic<uint64_t> cache_admissions{0};
   std::atomic<uint64_t> cache_evictions{0};
   std::atomic<uint64_t> cache_invalidations{0};
+  /// Replica failover/hedging accounting. `failovers` counts replicas a
+  /// read moved past (skipped as known-down, or answered kUnavailable);
+  /// `replica_reads` counts reads actually issued against a non-primary
+  /// replica; `hedged_reads` counts hedge timers that fired (a second
+  /// request raced another replica) and `hedge_wins` the races the hedge
+  /// won; `broadcast_redirects` counts broadcast copies re-homed because
+  /// their target node was down.
+  std::atomic<uint64_t> failovers{0};
+  std::atomic<uint64_t> replica_reads{0};
+  std::atomic<uint64_t> hedged_reads{0};
+  std::atomic<uint64_t> hedge_wins{0};
+  std::atomic<uint64_t> broadcast_redirects{0};
   /// One slot per job stage; constructed by the executor at run start.
   std::vector<StageCounters> per_stage;
 
@@ -82,6 +94,11 @@ struct ExecMetricsCounters {
     cache_admissions = 0;
     cache_evictions = 0;
     cache_invalidations = 0;
+    failovers = 0;
+    replica_reads = 0;
+    hedged_reads = 0;
+    hedge_wins = 0;
+    broadcast_redirects = 0;
     for (auto& stage : per_stage) {
       stage.invocations = 0;
       stage.emitted = 0;
@@ -113,6 +130,11 @@ struct MetricsSnapshot {
   uint64_t cache_admissions = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;
+  uint64_t failovers = 0;
+  uint64_t replica_reads = 0;
+  uint64_t hedged_reads = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t broadcast_redirects = 0;
   double wall_ms = 0.0;
   std::vector<StageSnapshot> per_stage;
 
@@ -134,6 +156,11 @@ struct MetricsSnapshot {
     s.cache_admissions = c.cache_admissions.load();
     s.cache_evictions = c.cache_evictions.load();
     s.cache_invalidations = c.cache_invalidations.load();
+    s.failovers = c.failovers.load();
+    s.replica_reads = c.replica_reads.load();
+    s.hedged_reads = c.hedged_reads.load();
+    s.hedge_wins = c.hedge_wins.load();
+    s.broadcast_redirects = c.broadcast_redirects.load();
     s.wall_ms = wall_ms;
     s.per_stage.reserve(c.per_stage.size());
     for (const auto& stage : c.per_stage) {

@@ -56,10 +56,17 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
           shared.metrics.retry_backoff_us.fetch_add(backoff_us,
                                                     std::memory_order_relaxed);
         });
-    LH_RETURN_NOT_OK(status.WithContext(fn.name()));
+    // RunWithRetry already appended the attempt count; add which stage,
+    // function, and node so a post-mortem needs no guessing.
+    LH_RETURN_NOT_OK(status.WithContext("stage " + std::to_string(stage) +
+                                        " (" + fn.name() + ") on node " +
+                                        std::to_string(node)));
   } else {
     shared.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
-    LH_RETURN_NOT_OK(fn.Execute(ctx, tuple, &outs).WithContext(fn.name()));
+    LH_RETURN_NOT_OK(fn.Execute(ctx, tuple, &outs)
+                         .WithContext("stage " + std::to_string(stage) + " (" +
+                                      fn.name() + ") on node " +
+                                      std::to_string(node)));
   }
   shared.metrics.tuples_emitted.fetch_add(outs.size(),
                                           std::memory_order_relaxed);

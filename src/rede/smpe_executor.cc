@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "rede/deref_batch.h"
@@ -31,17 +34,18 @@ struct SmpeExecutor::RunState {
   std::mutex sink_mutex;
   ResultSink sink;
 
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  Status error;
+  /// Run-wide cooperative cancellation: the first permanent error OR the
+  /// deadline watchdog flips it (first cause wins); every task checks it
+  /// before executing, so queues drain without doing work.
+  CancelToken cancel;
+  /// Hedge-race losers parked here; joined before Execute returns.
+  StragglerReaper stragglers;
 
   void RecordError(const Status& status, const std::string& where) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (error.ok()) error = status.WithContext(where);
-    failed.store(true, std::memory_order_release);
+    cancel.Cancel(status.WithContext(where));
   }
 
-  bool Failed() const { return failed.load(std::memory_order_acquire); }
+  bool Failed() const { return cancel.cancelled(); }
 
   void Emit(const Tuple& tuple) {
     metrics.output_tuples.fetch_add(1, std::memory_order_relaxed);
@@ -84,6 +88,11 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
   LH_CHECK(!task.tuples.empty());
   const StageFunction& fn = *state.job->stages()[task.stage];
   ExecContext ctx{node, cluster_, &state.metrics, cache_.get()};
+  ctx.cancel = &state.cancel;
+  if (options_.deterministic_seed == 0 && options_.hedge.enabled) {
+    ctx.hedge = options_.hedge;
+    ctx.stragglers = &state.stragglers;
+  }
   std::vector<Tuple> outs;
   Status status;
   size_t retry = 0;
@@ -125,15 +134,14 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
     }
   }
   if (!status.ok()) {
-    if (retry > 0) {
-      // Retries exhausted: surface the original error, annotated with how
-      // hard we tried.
-      status = status.WithContext("after " + std::to_string(retry + 1) +
-                                  " attempts");
-    }
     state.metrics.tasks_dropped_on_failure.fetch_add(1,
                                                      std::memory_order_relaxed);
-    state.RecordError(status, fn.name());
+    // Annotate with everything a post-mortem needs: which stage, which
+    // function, which node, and how hard we tried.
+    state.RecordError(status, "stage " + std::to_string(task.stage) + " (" +
+                                  fn.name() + ") on node " +
+                                  std::to_string(node) + " after " +
+                                  std::to_string(retry + 1) + " attempts");
   } else {
     state.metrics.CountStage(task.stage, outs.size());
     Route(state, node, task.stage + 1, std::move(outs));
@@ -196,25 +204,52 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
     if (next_fn.IsDereferencer() && !pending.tuple.pointer.has_partition &&
         !pending.tuple.resolve_local && next_fn.WantsBroadcast()) {
       // Broadcast: replicate to every node's queue marked for local
-      // resolution (Algorithm 1, lines 28-33).
+      // resolution (Algorithm 1, lines 28-33). When the destination node is
+      // down AND the stage's structure is replicated, the copy is REDIRECTED
+      // instead of failing the job: it stays on the emitting node carrying
+      // the down node's id as resolve_owner, so this node resolves the down
+      // node's partitions on its behalf via replica failover. Ownership
+      // stays static (every partition is covered exactly once) whatever the
+      // outage timing. Unreplicated stages keep the seed behavior: a dead
+      // destination fails the broadcast.
       state.metrics.broadcasts.fetch_add(1, std::memory_order_relaxed);
       const size_t bytes = ApproxTupleBytes(pending.tuple);
       const sim::NodeId last = cluster_->num_nodes() - 1;
+      const bool replicated = next_fn.TargetReplication() > 1;
       for (sim::NodeId m = 0; m <= last; ++m) {
+        sim::NodeId dest = m;
+        uint32_t owner = Tuple::kResolveOnSelf;
         if (m != node) {
-          // The self-node replica is a local enqueue, not a message.
-          Status status = cluster_->ChargeMessage(node, m, bytes);
-          if (!status.ok()) {
-            state.RecordError(status, "broadcast");
-            return;
+          if (replicated && cluster_->NodeIsDown(m)) {
+            // Known-down destination: keep the copy here, no message.
+            dest = node;
+            owner = m;
+            state.metrics.broadcast_redirects.fetch_add(
+                1, std::memory_order_relaxed);
+          } else {
+            // The self-node replica is a local enqueue, not a message.
+            Status status = cluster_->ChargeMessage(node, m, bytes);
+            if (!status.ok()) {
+              if (replicated && status.IsUnavailable()) {
+                // Outage raced the liveness check: redirect all the same.
+                dest = node;
+                owner = m;
+                state.metrics.broadcast_redirects.fetch_add(
+                    1, std::memory_order_relaxed);
+              } else {
+                state.RecordError(status, "broadcast");
+                return;
+              }
+            }
           }
         }
         // The last replica takes the tuple by move; only the first
         // num_nodes-1 replicas pay a deep copy.
         Tuple copy = (m == last) ? std::move(pending.tuple) : pending.tuple;
         copy.resolve_local = true;
+        copy.resolve_owner = owner;
         state.inflight.Add();
-        if (!state.queues[m]->Push(Task{pending.stage, {std::move(copy)}})) {
+        if (!state.queues[dest]->Push(Task{pending.stage, {std::move(copy)}})) {
           // Queue already closed (shutdown): the task will never run, so
           // balance the in-flight count or AwaitZero() hangs forever.
           state.inflight.Done();
@@ -273,8 +308,18 @@ void SmpeExecutor::RunDeterministic(RunState& state) const {
   // serialization of the real executor's task DAG, and the same seed walks
   // the same sequence exactly.
   Random rng(options_.deterministic_seed);
+  StopWatch watch;
   std::vector<uint32_t> ready;
   for (;;) {
+    // Single-threaded mode has no watchdog thread; the scheduling loop
+    // checks the deadline between tasks instead. Expiry flips the token and
+    // the remaining tasks drain through RunTask's fail-fast path.
+    if (options_.deadline_ms > 0 && !state.Failed() &&
+        watch.ElapsedMillis() >= static_cast<double>(options_.deadline_ms)) {
+      state.cancel.Cancel(Status::DeadlineExceeded(
+          "job '" + state.job->name() + "' exceeded deadline of " +
+          std::to_string(options_.deadline_ms) + "ms"));
+    }
     ready.clear();
     for (uint32_t n = 0; n < state.queues.size(); ++n) {
       if (!state.queues[n]->empty()) ready.push_back(n);
@@ -336,10 +381,41 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
 
     SeedInitial(state);
 
+    // Deadline watchdog: waits on a cv (no polling) for either deadline
+    // expiry — then flips the run's CancelToken — or run completion.
+    std::thread watchdog;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool run_done = false;
+    if (options_.deadline_ms > 0) {
+      watchdog = std::thread([&] {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        const bool completed = done_cv.wait_for(
+            lock, std::chrono::milliseconds(options_.deadline_ms),
+            [&] { return run_done; });
+        if (!completed) {
+          state.cancel.Cancel(Status::DeadlineExceeded(
+              "job '" + job.name() + "' exceeded deadline of " +
+              std::to_string(options_.deadline_ms) + "ms"));
+        }
+      });
+    }
+
     state.inflight.AwaitZero();
+    if (watchdog.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        run_done = true;
+      }
+      done_cv.notify_all();
+      watchdog.join();
+    }
     for (auto& queue : state.queues) queue->Close();
     for (auto& dispatcher : dispatchers) dispatcher.join();
   }
+  // Hedge-race losers may still be inside the simulated device stack; they
+  // must finish before this run's state is torn down. Zero leaked tasks.
+  state.stragglers.JoinAll();
 
   if (cache_ != nullptr) {
     RecordCacheStats after = cache_->stats();
@@ -353,10 +429,7 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
                                                 cache_before.invalidations);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(state.error_mutex);
-    if (!state.error.ok()) return state.error;
-  }
+  if (state.cancel.cancelled()) return state.cancel.cause();
   JobResult result;
   result.metrics = MetricsSnapshot::From(state.metrics, watch.ElapsedMillis());
   return result;

@@ -8,6 +8,7 @@
 #include "concurrent/mpmc_queue.h"
 #include "concurrent/thread_pool.h"
 #include "rede/executor.h"
+#include "rede/hedge.h"
 #include "rede/record_cache.h"
 #include "sim/cluster.h"
 
@@ -53,6 +54,19 @@ struct SmpeOptions {
   /// One cache per executor, shared across that executor's runs — files are
   /// immutable after Seal(), so entries never go stale.
   RecordCacheOptions cache;
+
+  /// Hedged reads against a second replica when the primary is slow (off
+  /// by default). Threaded mode only: under deterministic_seed schedules
+  /// are single-threaded and never race, so the knob is ignored there.
+  HedgeOptions hedge;
+
+  /// Wall-clock deadline of one Execute() call in milliseconds (0 = no
+  /// deadline). On expiry the run's CancelToken flips: queued tasks drain
+  /// without executing, in-flight ones finish their current attempt, and
+  /// Execute returns kDeadlineExceeded with zero leaked tasks. Promptness
+  /// is bounded by the longest single device operation plus one retry
+  /// backoff interval.
+  uint64_t deadline_ms = 0;
 
   /// When nonzero, Execute() runs single-threaded on the calling thread,
   /// picking the next task from a seeded PRNG over the nonempty node

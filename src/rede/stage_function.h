@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "io/pointer.h"
+#include "rede/hedge.h"
 #include "rede/metrics.h"
 #include "rede/tuple.h"
 #include "sim/cluster.h"
@@ -23,6 +25,14 @@ struct ExecContext {
   /// Node-local record cache, or nullptr when caching is disabled.
   /// Dereferencers consult it before touching simulated storage.
   RecordCache* record_cache = nullptr;
+  /// Hedged-read knobs; hedging is off unless the executor enables it
+  /// (threaded SMPE mode only) AND supplies a straggler reaper.
+  HedgeOptions hedge;
+  StragglerReaper* stragglers = nullptr;
+  /// Run-wide cancellation token, or nullptr when the executor does not
+  /// support cooperative cancellation. Long-running stage functions should
+  /// poll it and bail out early with its cause.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Base of the two function kinds composing a ReDe job (§III-B). The
@@ -43,6 +53,13 @@ class StageFunction {
   /// dereference over a range-partitioned structure prunes to the
   /// partitions its key range intersects).
   virtual bool WantsBroadcast() const { return true; }
+
+  /// Replication factor of the structure this stage resolves against
+  /// (1 for Referencers and unreplicated files). The executor uses it to
+  /// decide whether a broadcast copy whose target node is down can be
+  /// redirected — with replicas, another node can resolve the down node's
+  /// partitions on its behalf; without, the broadcast must fail.
+  virtual uint32_t TargetReplication() const { return 1; }
 
   /// Consume one input tuple, append emitted tuples to `out`. Emissions
   /// feed the next stage (or the job output when this is the last stage).

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,11 +21,22 @@ namespace lakeharbor::rede {
 /// input, LOCAL): this copy of a broadcast tuple must be resolved against
 /// the receiving node's local partitions only.
 struct Tuple {
+  /// Sentinel for `resolve_owner`: resolve against the receiving node's own
+  /// local partitions (the normal broadcast case).
+  static constexpr uint32_t kResolveOnSelf = UINT32_MAX;
+
   std::vector<io::Record> records;
   io::Pointer pointer;
   io::Pointer pointer_hi;
   bool is_range = false;
   bool resolve_local = false;
+  /// Which node's local partitions a resolve_local copy consults. Normally
+  /// kResolveOnSelf; a broadcast copy REDIRECTED because its target node
+  /// was down carries the down node's id — the node that kept the copy then
+  /// resolves the down node's partitions on its behalf, reading them via
+  /// replica failover. Static ownership (primary holder, or its designated
+  /// stand-in) is what keeps broadcast coverage exact under outages.
+  uint32_t resolve_owner = kResolveOnSelf;
 
   /// Point-lookup tuple (empty bundle) for job initial inputs.
   static Tuple Point(io::Pointer ptr) {

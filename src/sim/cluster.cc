@@ -55,6 +55,15 @@ Status Cluster::ChargeWrite(NodeId compute_node, NodeId storage_node,
   return nodes_[storage_node]->disk().Write(bytes);
 }
 
+Status Cluster::ChargeReplicatedWrite(NodeId compute_node,
+                                      const std::vector<NodeId>& replicas,
+                                      size_t bytes) {
+  for (NodeId storage_node : replicas) {
+    LH_RETURN_NOT_OK(ChargeWrite(compute_node, storage_node, bytes));
+  }
+  return Status::OK();
+}
+
 Status Cluster::ChargeMessage(NodeId from, NodeId to, size_t bytes) {
   if (from == to) return Status::OK();
   if (NodeIsDown(from) || NodeIsDown(to)) {

@@ -93,6 +93,14 @@ class Cluster {
   /// Charge a write of `bytes` on `storage_node` (structure maintenance).
   Status ChargeWrite(NodeId compute_node, NodeId storage_node, size_t bytes);
 
+  /// Charge a replicated write: the payload is written to EVERY replica
+  /// node (disk write each, plus a transfer per remote replica). This is
+  /// the ingest-side cost of replication_factor > 1 — durability is paid
+  /// for up front, not discovered at failover time.
+  Status ChargeReplicatedWrite(NodeId compute_node,
+                               const std::vector<NodeId>& replicas,
+                               size_t bytes);
+
   /// Charge a pure control message between two nodes (task shipping,
   /// broadcast fan-out).
   Status ChargeMessage(NodeId from, NodeId to, size_t bytes);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -46,14 +47,17 @@ class FaultInjector {
 
   /// Install new knobs and rewind the operation stream to index 0, so a
   /// fixed seed deterministically replays its fault pattern.
+  ///
+  /// The knobs are published as ONE atomically-swapped immutable snapshot:
+  /// an Assess racing a Configure sees either the old knob set or the new
+  /// one in full, never a torn half-old/half-new mix (e.g. the new
+  /// fault_rate with the old unavailable_fraction). The operation counter
+  /// is reset independently — a concurrent Assess may draw an old stream
+  /// index against the new knobs, which only shifts WHICH deterministic
+  /// fate it draws, never mixes knob values.
   void Configure(const FaultOptions& options) {
-    fault_rate_.store(options.fault_rate, std::memory_order_relaxed);
-    unavailable_fraction_.store(options.unavailable_fraction,
-                                std::memory_order_relaxed);
-    seed_.store(options.seed, std::memory_order_relaxed);
-    spike_rate_.store(options.latency_spike_rate, std::memory_order_relaxed);
-    spike_multiplier_.store(options.latency_spike_multiplier,
-                            std::memory_order_relaxed);
+    knobs_.store(std::make_shared<const FaultOptions>(options),
+                 std::memory_order_release);
     ops_.store(0, std::memory_order_relaxed);
   }
 
@@ -73,6 +77,8 @@ class FaultInjector {
   };
 
   /// Draw the fate of the next operation on `device` ("disk"/"network").
+  /// Loads the knob snapshot exactly once, so every field consulted for
+  /// this decision comes from the same Configure call.
   Decision Assess(const char* device) {
     Decision decision;
     if (outage_.load(std::memory_order_relaxed)) {
@@ -80,25 +86,25 @@ class FaultInjector {
                                             " outage: node is down");
       return decision;
     }
-    const double fault_rate = fault_rate_.load(std::memory_order_relaxed);
-    const double spike_rate = spike_rate_.load(std::memory_order_relaxed);
-    if (fault_rate <= 0.0 && spike_rate <= 0.0) return decision;
+    const std::shared_ptr<const FaultOptions> knobs =
+        knobs_.load(std::memory_order_acquire);
+    if (!knobs || !knobs->enabled()) return decision;
 
     const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t seed = seed_.load(std::memory_order_relaxed);
-    if (fault_rate > 0.0 && U01(Mix(seed, op, kFaultSalt)) < fault_rate) {
+    const uint64_t seed = knobs->seed;
+    if (knobs->fault_rate > 0.0 &&
+        U01(Mix(seed, op, kFaultSalt)) < knobs->fault_rate) {
       const bool unavailable =
-          U01(Mix(seed, op, kKindSalt)) <
-          unavailable_fraction_.load(std::memory_order_relaxed);
+          U01(Mix(seed, op, kKindSalt)) < knobs->unavailable_fraction;
       std::string msg = std::string("injected transient ") + device +
                         " fault (op " + std::to_string(op) + ")";
       decision.status = unavailable ? Status::Unavailable(std::move(msg))
                                     : Status::IOError(std::move(msg));
       return decision;
     }
-    if (spike_rate > 0.0 && U01(Mix(seed, op, kSpikeSalt)) < spike_rate) {
-      decision.latency_scale =
-          spike_multiplier_.load(std::memory_order_relaxed);
+    if (knobs->latency_spike_rate > 0.0 &&
+        U01(Mix(seed, op, kSpikeSalt)) < knobs->latency_spike_rate) {
+      decision.latency_scale = knobs->latency_spike_multiplier;
     }
     return decision;
   }
@@ -122,11 +128,9 @@ class FaultInjector {
     return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
   }
 
-  std::atomic<double> fault_rate_{0.0};
-  std::atomic<double> unavailable_fraction_{0.0};
-  std::atomic<uint64_t> seed_{0};
-  std::atomic<double> spike_rate_{0.0};
-  std::atomic<double> spike_multiplier_{10.0};
+  /// Immutable knob snapshot; null means "never configured" (= inject
+  /// nothing). Swapped wholesale by Configure, read once per Assess.
+  std::atomic<std::shared_ptr<const FaultOptions>> knobs_{nullptr};
   std::atomic<bool> outage_{false};
   std::atomic<uint64_t> ops_{0};
 };

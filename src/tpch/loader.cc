@@ -21,11 +21,12 @@ template <typename FileT>
 StatusOr<std::shared_ptr<FileT>> LoadTable(
     rede::Engine& engine, const char* name,
     const std::vector<std::string>& rows, size_t key_field,
-    uint32_t partitions, size_t fanout,
+    uint32_t partitions, size_t fanout, uint32_t replication_factor,
     size_t secondary_key_field = SIZE_MAX) {
   auto file = std::make_shared<FileT>(
       name, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
+  file->SetReplicationFactor(replication_factor);
   for (const std::string& row : rows) {
     LH_ASSIGN_OR_RETURN(std::string key, EncodedIntField(row, key_field));
     std::string in_key = key;
@@ -67,36 +68,37 @@ Status LoadIntoLake(rede::Engine& engine, const TpchData& data,
                             ? engine.cluster().num_nodes()
                             : options.partitions;
   const size_t fanout = options.btree_fanout;
+  const uint32_t rf = options.replication_factor;
 
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kRegion, data.region,
-                       region::kRegionKey, partitions, fanout)
+                       region::kRegionKey, partitions, fanout, rf)
                        .status());
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kNation, data.nation,
-                       nation::kNationKey, partitions, fanout)
+                       nation::kNationKey, partitions, fanout, rf)
                        .status());
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kSupplier, data.supplier,
-                       supplier::kSuppKey, partitions, fanout)
+                       supplier::kSuppKey, partitions, fanout, rf)
                        .status());
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kCustomer, data.customer,
-                       customer::kCustKey, partitions, fanout)
+                       customer::kCustKey, partitions, fanout, rf)
                        .status());
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kPart, data.part, part::kPartKey,
-                       partitions, fanout)
+                       partitions, fanout, rf)
                        .status());
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kOrders, data.orders,
-                       orders::kOrderKey, partitions, fanout)
+                       orders::kOrderKey, partitions, fanout, rf)
                        .status());
   // Lineitem: partitioned by l_orderkey, primary key (l_orderkey,
   // l_linenumber).
   LH_RETURN_NOT_OK(LoadTable<io::PartitionedFile>(
                        engine, names::kLineitem, data.lineitem,
-                       lineitem::kOrderKey, partitions, fanout,
+                       lineitem::kOrderKey, partitions, fanout, rf,
                        lineitem::kLineNumber)
                        .status());
 

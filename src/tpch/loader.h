@@ -29,6 +29,10 @@ struct LoadOptions {
   /// dereferences can prune — the contrast to the local secondary index.
   bool build_range_partitioned_date_index = false;
   size_t btree_fanout = 64;
+  /// Replicas of every partition (base files AND the structures built over
+  /// them, which inherit it). 1 = the unreplicated seed layout; 2+ lets
+  /// queries survive whole-node outages via replica failover.
+  uint32_t replication_factor = 1;
 };
 
 /// Load `data` into `engine`'s catalog and build the structures.

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -139,6 +141,49 @@ TEST(FaultInjector, UnavailableFractionSelectsTheInjectedCode) {
   for (int i = 0; i < 50; ++i) {
     EXPECT_TRUE(injector.Assess("disk").status.IsIOError()) << i;
   }
+}
+
+TEST(FaultInjector, ReconfigurationSwapsKnobsAtomicallyUnderConcurrentAssess) {
+  // "Hot" knobs: every operation faults, and every fault is kUnavailable.
+  // "Off" knobs: nothing faults. A torn reconfiguration — the hot
+  // fault_rate observed together with the off unavailable_fraction — would
+  // surface as an injected kIoError, which NEITHER knob set can produce.
+  sim::FaultOptions hot;
+  hot.fault_rate = 1.0;
+  hot.unavailable_fraction = 1.0;
+  hot.seed = 9;
+  sim::FaultOptions off;
+
+  sim::FaultInjector injector(hot);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> faults_seen{0};
+  std::vector<std::thread> assessors;
+  for (int t = 0; t < 4; ++t) {
+    assessors.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        sim::FaultInjector::Decision decision = injector.Assess("disk");
+        if (decision.faulted()) {
+          faults_seen.fetch_add(1, std::memory_order_relaxed);
+          if (!decision.status.IsUnavailable()) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // Keep toggling until the assessors have demonstrably raced a few
+  // thousand hot-knob assessments (bounded so a pathological scheduler
+  // cannot hang the test; the atomicity assertion holds regardless).
+  uint64_t toggles = 0;
+  while (faults_seen.load(std::memory_order_relaxed) < 2000 &&
+         toggles < 20000000) {
+    injector.Configure((toggles++ % 2 != 0) ? off : hot);
+  }
+  stop.store(true);
+  for (auto& thread : assessors) thread.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(faults_seen.load(), 0u);  // the race was actually exercised
 }
 
 TEST(DiskFaults, SeededProbabilisticFaultsReplayDeterministically) {
@@ -391,6 +436,31 @@ TEST_F(FaultEngineFixture, RetryExhaustionSurfacesOriginalErrorWithContext) {
     auto recovered = engine->ExecuteCollect(*job, mode);
     ASSERT_TRUE(recovered.ok()) << ExecutionModeToString(mode);
     EXPECT_EQ(recovered->tuples.size(), static_cast<size_t>(kEmployees));
+  }
+}
+
+TEST_F(FaultEngineFixture, ExhaustedRetryErrorNamesStageFunctionNodeAndAttempts) {
+  BuildEngine(WithRetries(2));
+  auto job = DeptJoinJob();
+  ASSERT_TRUE(job.ok());
+  for (auto mode : {ExecutionMode::kSmpe, ExecutionMode::kPartitioned}) {
+    for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+      cluster.node(n).disk().InjectFaultAfter(0);  // permanent failure
+    }
+    auto result = engine->ExecuteCollect(*job, mode);
+    ASSERT_FALSE(result.ok()) << ExecutionModeToString(mode);
+    const std::string message = result.status().message();
+    // A post-mortem needs no guessing: the exhausted-retry error names the
+    // stage index, the stage function, the node, and how hard we tried, on
+    // top of the original device error.
+    EXPECT_NE(message.find("stage "), std::string::npos) << message;
+    EXPECT_NE(message.find("(deref-"), std::string::npos) << message;
+    EXPECT_NE(message.find("on node "), std::string::npos) << message;
+    EXPECT_NE(message.find("attempts"), std::string::npos) << message;
+    EXPECT_NE(message.find("injected"), std::string::npos) << message;
+    for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+      cluster.node(n).disk().ClearFault();
+    }
   }
 }
 
