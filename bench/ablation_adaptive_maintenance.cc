@@ -60,7 +60,7 @@ index::IndexSpec DateIndexSpec() {
 /// structure when built, the scan otherwise. Returns (wall ms, matches).
 StatusOr<std::pair<double, uint64_t>> RunQuery(
     rede::Engine& engine, baseline::ScanEngine& scan_engine, bool structured,
-    const tpch::Q5Params& params) {
+    const tpch::Q5Params& params, bench::TraceCapture& trace_capture) {
   StopWatch watch;
   uint64_t matches = 0;
   if (structured) {
@@ -78,12 +78,12 @@ StatusOr<std::pair<double, uint64_t>> RunQuery(
             .Add(rede::MakeIndexEntryReferencer("ref-order"))
             .Add(rede::MakePointDereferencer("deref-orders", orders))
             .Build());
-    LH_RETURN_NOT_OK(engine
-                         .Execute(job, rede::ExecutionMode::kSmpe,
-                                  [&matches](const rede::Tuple&) {
-                                    ++matches;
-                                  })
-                         .status());
+    LH_ASSIGN_OR_RETURN(auto result,
+                        engine.Execute(job, rede::ExecutionMode::kSmpe,
+                                       [&matches](const rede::Tuple&) {
+                                         ++matches;
+                                       }));
+    trace_capture.Observe(result, "date-select structured");
   } else {
     LH_ASSIGN_OR_RETURN(auto orders,
                         engine.catalog().Get(tpch::names::kOrders));
@@ -99,11 +99,13 @@ StatusOr<std::pair<double, uint64_t>> RunQuery(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
   baseline::ScanEngine scan_engine(&cluster);
 
@@ -164,7 +166,8 @@ int main() {
   auto run_phase = [&](const char* phase, double selectivity, int queries) {
     for (int i = 0; i < queries; ++i) {
       tpch::Q5Params params = tpch::MakeQ5Params(selectivity);
-      auto result = RunQuery(engine, scan_engine, built, params);
+      auto result =
+          RunQuery(engine, scan_engine, built, params, trace_capture);
       LH_CHECK(result.ok());
       std::printf("%-7s %-12s %-28s %10.2f %10llu\n", phase,
                   built ? "structure" : "scan", "query", result->first,

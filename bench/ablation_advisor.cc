@@ -24,11 +24,13 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   tpch::TpchConfig config;
@@ -70,6 +72,8 @@ int main() {
     auto forced_idx = engine.Execute(*job, rede::ExecutionMode::kSmpe,
                                      nullptr);
     LH_CHECK(forced_idx.ok());
+    trace_capture.Observe(*forced_idx,
+                          "Q5' forced-idx sel=" + std::to_string(selectivity));
     StopWatch scan_watch;
     LH_CHECK(tpch::RunQ5Baseline(scan_engine, engine.catalog(), params).ok());
     double forced_scan_ms = scan_watch.ElapsedMillis();

@@ -107,7 +107,8 @@ SweepOutcome RunSweep(
     FILE* out, const std::string& workload, sim::Cluster& cluster,
     const rede::SmpeOptions& base_options, const rede::Job& job,
     const std::function<std::string(const std::vector<rede::Tuple>&,
-                                    uint64_t*)>& summarize) {
+                                    uint64_t*)>& summarize,
+    bench::TraceCapture& trace_capture) {
   const size_t batch_sizes[] = {0, 8, 32, 128};
   const size_t cache_budgets[] = {0, 1ull << 20, 32ull << 20};
   SweepOutcome outcome;
@@ -115,6 +116,7 @@ SweepOutcome RunSweep(
   for (size_t batch : batch_sizes) {
     for (size_t budget : cache_budgets) {
       rede::SmpeOptions options = base_options;
+      options.trace_sample_n = trace_capture.sample_n();
       options.batch.enabled = batch > 0;
       if (batch > 0) options.batch.max_batch_size = batch;
       options.cache.enabled = budget > 0;
@@ -125,6 +127,9 @@ SweepOutcome RunSweep(
       rede::TupleCollector collector;
       auto result = executor.Execute(job, collector.AsSink());
       LH_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+      trace_capture.Observe(*result, workload + " batch=" +
+                                         std::to_string(batch) + " budget=" +
+                                         std::to_string(budget));
       sim::ResourceTotals after = cluster.TotalStats();
 
       CellResult cell;
@@ -159,7 +164,8 @@ SweepOutcome RunSweep(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   cluster_config.num_nodes =
       static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
@@ -215,7 +221,8 @@ int main() {
         LH_CHECK(summary.ok());
         *rows = summary->rows;
         return DigestKeys(summary->rows, summary->keys);
-      });
+      },
+      trace_capture);
   auto claims = RunSweep(
       out, "claims_wh_q1", claims_cluster, engine_options.smpe, *claims_job,
       [](const std::vector<rede::Tuple>& tuples, uint64_t* rows) {
@@ -224,7 +231,8 @@ int main() {
         *rows = answer->distinct_claims;
         return std::to_string(answer->distinct_claims) + ":" +
                std::to_string(answer->total_expense);
-      });
+      },
+      trace_capture);
   std::fclose(out);
 
   auto ratio = [](const SweepOutcome& o) {

@@ -19,11 +19,13 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   tpch::TpchConfig config;
@@ -67,6 +69,11 @@ int main() {
           engine.Execute(*job, rede::ExecutionMode::kSmpe,
                          [&rows](const rede::Tuple&) { ++rows; });
       LH_CHECK(result.ok());
+      trace_capture.Observe(
+          *result, std::string("part-join ") +
+                       (variant == 0 ? "indexed"
+                                     : variant == 1 ? "broadcast"
+                                                    : "broadcast+bloom"));
       auto idx = *engine.catalog().Get(tpch::names::kLineitemPartKeyIndex);
       const char* label = variant == 0   ? "global"
                           : variant == 1 ? "broadcast"

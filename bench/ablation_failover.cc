@@ -112,7 +112,8 @@ using Summarize = std::function<std::string(const std::vector<rede::Tuple>&,
 /// many output tuples, kVictim drops dead for the rest of the run.
 CellResult RunCell(sim::Cluster& cluster, const rede::SmpeOptions& options,
                    const rede::Job& job, const Summarize& summarize,
-                   uint64_t outage_after) {
+                   uint64_t outage_after, bench::TraceCapture& trace_capture,
+                   const std::string& cell_label) {
   rede::SmpeExecutor executor(&cluster, options);
   rede::TupleCollector collector;
   rede::ResultSink inner = collector.AsSink();
@@ -137,6 +138,7 @@ CellResult RunCell(sim::Cluster& cluster, const rede::SmpeOptions& options,
     return cell;
   }
   cell.completed = true;
+  trace_capture.Observe(*result, cell_label);
   std::vector<rede::Tuple> tuples = collector.TakeTuples();
   cell.checksum = summarize(tuples, &cell.rows);
   cell.failovers = result->metrics.failovers;
@@ -169,11 +171,13 @@ struct SweepStats {
 /// reads+checksum across calls (filled on the rf=1 pass, read on rf=2).
 void RunSweep(FILE* out, Workload& w, uint32_t rf,
               const rede::SmpeOptions& base_options, uint64_t hedge_us,
-              CellResult* baseline, SweepStats* stats) {
+              CellResult* baseline, SweepStats* stats,
+              bench::TraceCapture& trace_capture) {
   for (const char* outage : {"none", "mid"}) {
     const bool mid = std::string(outage) == "mid";
     for (int hedge = 0; hedge < (rf >= 2 ? 2 : 1); ++hedge) {
       rede::SmpeOptions options = base_options;
+      options.trace_sample_n = trace_capture.sample_n();
       options.hedge.enabled = hedge != 0;
       options.hedge.deadline_us = hedge_us;
       // The rf=1/none cell runs first and fills `baseline`, so every mid
@@ -181,7 +185,10 @@ void RunSweep(FILE* out, Workload& w, uint32_t rf,
       const uint64_t half = (baseline->rows + 1) / 2;
       const uint64_t outage_after = mid ? (half > 0 ? half : 1) : 0;
       CellResult cell =
-          RunCell(*w.cluster, options, *w.job, w.summarize, outage_after);
+          RunCell(*w.cluster, options, *w.job, w.summarize, outage_after,
+                  trace_capture,
+                  w.name + " rf=" + std::to_string(rf) + " outage=" + outage +
+                      (hedge != 0 ? " hedged" : ""));
       if (rf == 1 && !mid && hedge == 0 && baseline->checksum.empty()) {
         *baseline = cell;
       }
@@ -251,7 +258,8 @@ Workload MakeClaims(const bench::BenchClusterConfig& cluster_config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   cluster_config.num_nodes =
       static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
@@ -297,7 +305,8 @@ int main() {
                        ? MakeTpch(cluster_config, engine_options, tpch_data, rf)
                        : MakeClaims(cluster_config, engine_options,
                                     claims_data, rf);
-      RunSweep(out, w, rf, engine_options.smpe, hedge_us, &baseline, &stats);
+      RunSweep(out, w, rf, engine_options.smpe, hedge_us, &baseline, &stats,
+               trace_capture);
     }
   }
   std::fclose(out);

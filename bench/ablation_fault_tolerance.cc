@@ -22,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/clock.h"
 #include "common/json.h"
+#include "common/string_util.h"
 #include "rede/engine.h"
 #include "rede/smpe_executor.h"
 #include "tpch/generator.h"
@@ -63,7 +64,8 @@ void EmitJson(double fault_rate, bool retries_enabled, const CellResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   cluster_config.num_nodes =
       static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
@@ -72,6 +74,7 @@ int main() {
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node =
       static_cast<size_t>(bench::EnvOr("LH_BENCH_THREADS", 64));
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);  // retries disabled
 
   rede::SmpeOptions retrying_options = engine_options.smpe;
@@ -118,6 +121,9 @@ int main() {
                         : engine.Execute(*job, rede::ExecutionMode::kSmpe,
                                          sink);
       if (result.ok()) {
+        trace_capture.Observe(
+            *result, StrFormat("Q5' faults=%.2f retries=%d", fault_rate,
+                               retries_enabled ? 1 : 0));
         cell.wall_ms = result->metrics.wall_ms;
         cell.rows = rows;
         cell.retries = result->metrics.retries;

@@ -20,11 +20,13 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   tpch::TpchConfig config;
@@ -60,6 +62,8 @@ int main() {
     LH_CHECK(job.ok());
     auto result = engine.Execute(*job, rede::ExecutionMode::kSmpe, nullptr);
     LH_CHECK(result.ok());
+    trace_capture.Observe(*result,
+                          "Q5' sel=" + std::to_string(selectivity));
     double rede_ms = result->metrics.wall_ms;
     double saved = baseline_ms - rede_ms;
     if (saved > 0) {

@@ -74,11 +74,13 @@ StatusOr<rede::Job> BuildNWayJob(rede::Engine& engine, int ways,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   TpchConfig config;
@@ -102,6 +104,7 @@ int main() {
     auto result = engine.Execute(*job, rede::ExecutionMode::kSmpe,
                                  [&rows](const rede::Tuple&) { ++rows; });
     LH_CHECK(result.ok());
+    trace_capture.Observe(*result, std::to_string(ways) + "-way join");
     std::printf("%-8d %10llu %10.2f %14llu %10lld %14llu\n", ways,
                 static_cast<unsigned long long>(rows),
                 result->metrics.wall_ms,

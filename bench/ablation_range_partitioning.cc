@@ -46,11 +46,13 @@ StatusOr<rede::Job> DateSelectJob(rede::Engine& engine, const char* index_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node = 125;
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   tpch::TpchConfig config;
@@ -92,6 +94,7 @@ int main() {
           engine.Execute(*job, rede::ExecutionMode::kSmpe,
                          [&rows](const rede::Tuple&) { ++rows; });
       LH_CHECK(result.ok());
+      trace_capture.Observe(*result, std::string("date-select ") + v.label);
       auto idx = *engine.catalog().Get(v.index);
       std::printf("%-12.0e %-8s %10llu %10.2f %12llu %14llu\n", selectivity,
                   v.label, static_cast<unsigned long long>(rows),

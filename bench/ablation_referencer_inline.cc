@@ -17,7 +17,8 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::Engine engine(&cluster);
@@ -40,11 +41,14 @@ int main() {
       rede::SmpeOptions options;
       options.threads_per_node = 125;
       options.inline_referencers = inline_refs;
+      options.trace_sample_n = trace_capture.sample_n();
       rede::SmpeExecutor executor(&cluster, options);
       uint64_t rows = 0;
       auto result =
           executor.Execute(*job, [&rows](const rede::Tuple&) { ++rows; });
       LH_CHECK(result.ok());
+      trace_capture.Observe(*result, inline_refs ? "Q5' inline refs"
+                                                 : "Q5' dispatched refs");
       std::printf("%-12.0e %-12s %12.2f %12llu %14llu %10lld\n", selectivity,
                   inline_refs ? "inline" : "dispatched",
                   result->metrics.wall_ms,

@@ -20,7 +20,8 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   tpch::TpchConfig config;
   config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
   tpch::TpchData data = tpch::Generate(config);
@@ -36,6 +37,7 @@ int main() {
     sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
     rede::EngineOptions engine_options;
     engine_options.smpe.threads_per_node = 64;
+    engine_options.smpe.trace_sample_n = trace_capture.sample_n();
     rede::Engine engine(&cluster, engine_options);
     tpch::LoadOptions load;
     load.partitions = nodes * 2;
@@ -54,6 +56,7 @@ int main() {
     LH_CHECK(partitioned.ok());
     auto smpe = engine.Execute(*job, rede::ExecutionMode::kSmpe, nullptr);
     LH_CHECK(smpe.ok());
+    trace_capture.Observe(*smpe, "Q5' smpe nodes=" + std::to_string(nodes));
 
     std::printf("%-8u %14.2f %16.2f %16.2f %10lld\n", nodes, baseline_ms,
                 partitioned->metrics.wall_ms, smpe->metrics.wall_ms,

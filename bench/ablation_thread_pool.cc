@@ -16,7 +16,8 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
   rede::Engine engine(&cluster);
@@ -44,11 +45,14 @@ int main() {
   for (size_t threads : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
     rede::SmpeOptions options;
     options.threads_per_node = threads;
+    options.trace_sample_n = trace_capture.sample_n();
     rede::SmpeExecutor executor(&cluster, options);
     uint64_t rows = 0;
     auto result =
         executor.Execute(*job, [&rows](const rede::Tuple&) { ++rows; });
     LH_CHECK(result.ok());
+    trace_capture.Observe(*result,
+                          "Q5' threads/node=" + std::to_string(threads));
     std::printf("%-18zu %12.2f %12llu %10lld\n", threads,
                 result->metrics.wall_ms,
                 static_cast<unsigned long long>(rows),

@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 
+#include "obs/chrome_trace.h"
+#include "rede/engine.h"
 #include "sim/cluster.h"
 
 /// \file bench_util.h
@@ -48,5 +52,79 @@ inline void PrintHeader(const char* title) {
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
 }
+
+/// Opt-in trace capture for the figure/ablation harnesses.
+///
+///   ./build/bench/fig7_tpch_q5 --trace-out=/tmp/q5.trace.json
+///   LH_TRACE_OUT=/tmp/q5.trace.json ./build/bench/ablation_batch_cache
+///
+/// When the flag (or LH_TRACE_OUT) is absent, sample_n() is 0 and the
+/// harness runs exactly as before — tracing stays off and published numbers
+/// are unaffected. When present, the harness plugs sample_n() into
+/// SmpeOptions::trace_sample_n, feeds each result to Observe(), and the
+/// destructor writes the LAST traced run's Chrome trace_event JSON to the
+/// given path (load it at chrome://tracing or ui.perfetto.dev) plus its
+/// text JobProfile to stdout.
+class TraceCapture {
+ public:
+  TraceCapture(int argc, char** argv) {
+    constexpr const char* kFlag = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+        path_ = argv[i] + std::strlen(kFlag);
+      }
+    }
+    if (path_.empty()) {
+      const char* env = std::getenv("LH_TRACE_OUT");
+      if (env != nullptr) path_ = env;
+    }
+  }
+
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  ~TraceCapture() { Finish(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Value for SmpeOptions::trace_sample_n (and the partitioned executor's
+  /// trace_sample_n): trace every job while capturing, nothing otherwise.
+  uint64_t sample_n() const { return enabled() ? 1 : 0; }
+
+  /// Keep the latest traced run; `label` names the bench cell it came from.
+  void Observe(const rede::JobResult& result, std::string label = "") {
+    if (!enabled() || result.trace == nullptr) return;
+    last_ = result;
+    label_ = std::move(label);
+  }
+  void Observe(const rede::CollectedResult& result, std::string label = "") {
+    rede::JobResult as_job;
+    as_job.metrics = result.metrics;
+    as_job.trace = result.trace;
+    Observe(as_job, std::move(label));
+  }
+
+  /// Write the captured trace (idempotent; also run by the destructor).
+  void Finish() {
+    if (!enabled() || last_.trace == nullptr || finished_) return;
+    finished_ = true;
+    std::printf("\n-- trace capture (%s) --\n",
+                label_.empty() ? "last traced run" : label_.c_str());
+    std::printf("%s", rede::ProfileOf(last_).ToText().c_str());
+    Status status = obs::WriteChromeTraceFile(*last_.trace, path_);
+    if (status.ok()) {
+      std::printf("chrome trace written to %s (open at chrome://tracing)\n",
+                  path_.c_str());
+    } else {
+      std::printf("trace write FAILED: %s\n", status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string label_;
+  rede::JobResult last_;
+  bool finished_ = false;
+};
 
 }  // namespace lakeharbor::bench

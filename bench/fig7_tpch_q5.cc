@@ -20,6 +20,7 @@
 #include "baseline/scan_engine.h"
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/string_util.h"
 #include "rede/engine.h"
 #include "tpch/generator.h"
 #include "tpch/loader.h"
@@ -27,7 +28,8 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   bench::BenchClusterConfig cluster_config;
   cluster_config.num_nodes =
       static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
@@ -36,6 +38,7 @@ int main() {
   rede::EngineOptions engine_options;
   engine_options.smpe.threads_per_node =
       static_cast<size_t>(bench::EnvOr("LH_BENCH_THREADS", 125));
+  engine_options.smpe.trace_sample_n = trace_capture.sample_n();
   rede::Engine engine(&cluster, engine_options);
 
   tpch::TpchConfig config;
@@ -87,6 +90,11 @@ int main() {
       auto result = engine.Execute(*job, mode,
                                    [&rows](const rede::Tuple&) { ++rows; });
       LH_CHECK(result.ok());
+      trace_capture.Observe(
+          *result, StrFormat("Q5' sel=%.1e %s", selectivity,
+                             mode == rede::ExecutionMode::kSmpe
+                                 ? "rede-w/-smpe"
+                                 : "rede-w/o-smpe"));
       const char* label = mode == rede::ExecutionMode::kSmpe
                               ? "rede-w/-smpe"
                               : "rede-w/o-smpe";

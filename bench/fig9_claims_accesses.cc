@@ -22,7 +22,8 @@
 
 using namespace lakeharbor;  // NOLINT — bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceCapture trace_capture(argc, argv);
   claims::ClaimsConfig config;
   config.num_claims =
       static_cast<uint64_t>(bench::EnvOr("LH_BENCH_CLAIMS", 50000));
@@ -30,7 +31,9 @@ int main() {
 
   bench::BenchClusterConfig cluster_config;
   sim::Cluster lake_cluster(bench::MakeClusterOptions(cluster_config));
-  rede::Engine lake(&lake_cluster);
+  rede::EngineOptions lake_options;
+  lake_options.smpe.trace_sample_n = trace_capture.sample_n();
+  rede::Engine lake(&lake_cluster, lake_options);
   LH_CHECK(claims::LoadRawClaims(lake, data).ok());
 
   sim::Cluster wh_cluster(bench::MakeClusterOptions(cluster_config));
@@ -64,6 +67,7 @@ int main() {
     lake.catalog().ResetAccessStats();
     auto raw = lake.ExecuteCollect(*raw_job, rede::ExecutionMode::kSmpe);
     LH_CHECK(raw.ok());
+    trace_capture.Observe(*raw, "claims raw-lake " + query.name);
     uint64_t lake_accesses = lake.catalog().TotalRecordAccesses();
     auto raw_answer = claims::SummarizeRawOutput(raw->tuples);
     LH_CHECK(raw_answer.ok());

@@ -1,0 +1,109 @@
+// Query-profiler demo — runs one traced TPC-H Q5' under SMPE, prints the
+// per-stage/per-node JobProfile, writes the Chrome trace_event JSON (load
+// it at chrome://tracing or ui.perfetto.dev), and measures the tracing
+// overhead by timing the same job with tracing off.
+//
+//   ./build/bench/profile_q5 [--trace-out=PATH]      (default /tmp/q5.trace.json)
+//
+// Env overrides: LH_BENCH_NODES, LH_BENCH_SF, LH_BENCH_THREADS,
+// LH_BENCH_REPS (overhead-measurement repetitions, default 5).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "obs/chrome_trace.h"
+#include "rede/engine.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/q5.h"
+
+using namespace lakeharbor;  // NOLINT — bench brevity
+
+namespace {
+
+/// Median wall-ms of `reps` runs of the job on `engine` (SMPE mode).
+double MedianWallMs(rede::Engine& engine, const rede::Job& job, int reps) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    auto result = engine.Execute(job, rede::ExecutionMode::kSmpe, nullptr);
+    LH_CHECK(result.ok());
+    times.push_back(result->metrics.wall_ms);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path = "/tmp/q5.trace.json";
+  constexpr const char* kFlag = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      trace_path = argv[i] + std::strlen(kFlag);
+    }
+  }
+
+  bench::BenchClusterConfig cluster_config;
+  cluster_config.num_nodes =
+      static_cast<uint32_t>(bench::EnvOr("LH_BENCH_NODES", 8));
+  sim::Cluster cluster(bench::MakeClusterOptions(cluster_config));
+
+  rede::EngineOptions traced_options;
+  traced_options.smpe.threads_per_node =
+      static_cast<size_t>(bench::EnvOr("LH_BENCH_THREADS", 125));
+  traced_options.smpe.trace_sample_n = 1;
+  rede::Engine engine(&cluster, traced_options);
+
+  tpch::TpchConfig config;
+  config.scale_factor = bench::EnvOr("LH_BENCH_SF", 0.005);
+  tpch::TpchData data = tpch::Generate(config);
+  tpch::LoadOptions load;
+  load.partitions = cluster.num_nodes() * 2;
+  LH_CHECK(tpch::LoadIntoLake(engine, data, load).ok());
+
+  tpch::Q5Params params = tpch::MakeQ5Params(0.01);
+  auto job = tpch::BuildQ5RedeJob(engine, params);
+  LH_CHECK(job.ok());
+
+  bench::PrintHeader("Query profiler demo — traced TPC-H Q5' (sel=0.01)");
+  cluster.SetTimingEnabled(true);
+
+  // --- the profiled run ----------------------------------------------------
+  uint64_t rows = 0;
+  auto traced = engine.Execute(*job, rede::ExecutionMode::kSmpe,
+                               [&rows](const rede::Tuple&) { ++rows; });
+  LH_CHECK(traced.ok());
+  LH_CHECK_MSG(traced->trace != nullptr, "run was not traced");
+
+  obs::JobProfile profile = rede::ProfileOf(*traced);
+  std::printf("%s\n", profile.ToText().c_str());
+  LH_CHECK_MSG(profile.Reconciles(),
+               "trace does not reconcile with the executor's counters");
+
+  Status write_status = obs::WriteChromeTraceFile(*traced->trace, trace_path);
+  LH_CHECK_MSG(write_status.ok(), write_status.ToString().c_str());
+  std::printf("chrome trace (%zu spans) written to %s\n",
+              traced->trace->spans.size(), trace_path.c_str());
+
+  // --- tracing overhead ----------------------------------------------------
+  const int reps = static_cast<int>(bench::EnvOr("LH_BENCH_REPS", 5));
+  rede::EngineOptions untraced_options = traced_options;
+  untraced_options.smpe.trace_sample_n = 0;
+  rede::Engine untraced_engine(&cluster, untraced_options);
+  // Untraced first so neither side benefits from warmup order alone.
+  const double untraced_ms = MedianWallMs(untraced_engine, *job, reps);
+  const double traced_ms = MedianWallMs(engine, *job, reps);
+  std::printf(
+      "\ntracing overhead (median of %d runs): untraced %.2f ms, traced "
+      "%.2f ms (%+.1f%%)\n",
+      reps, untraced_ms, traced_ms,
+      untraced_ms > 0 ? (traced_ms / untraced_ms - 1.0) * 100.0 : 0.0);
+  std::printf("rows=%llu\n", static_cast<unsigned long long>(rows));
+  return 0;
+}

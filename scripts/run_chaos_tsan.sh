@@ -4,7 +4,9 @@
 # them. The chaos tests exercise every cross-thread handoff in the executor
 # stack — outage flips mid-run, hedge races, cancellation, queue drains — so
 # a TSan-clean pass is the "zero leaked inflight tasks, no torn state"
-# acceptance gate.
+# acceptance gate. The obs-labeled suite (trace recorder, histograms,
+# profiler) rides along: its lock-free thread-local span buffers are exactly
+# the kind of code TSan exists for.
 #
 # Usage: scripts/run_chaos_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,4 +19,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DLAKEHARBOR_BUILD_BENCHMARKS=OFF \
   -DLAKEHARBOR_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'chaos|obs'

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build the full tree (tests, benches, examples)
+# with warnings-as-errors and run the complete ctest suite. This is the
+# one-command check a PR must keep green.
+#
+# Usage: scripts/run_tier1.sh [build-dir]   (default: build)
+#
+# A pre-existing build dir is reused (the -DLH_WERROR=ON cache update
+# triggers the necessary reconfigure); pass a fresh dir for a from-scratch
+# run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DLH_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

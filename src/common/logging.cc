@@ -2,13 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <thread>
+
+#include "common/clock.h"
 
 namespace lakeharbor {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+/// Flips on the first explicit SetLevel: code wins over the environment.
+std::atomic<bool> g_level_explicit{false};
 std::mutex g_mutex;
+/// Zero of the per-line monotonic timestamps: first logger touch.
+const int64_t g_log_epoch_us = NowMicros();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,19 +32,56 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// One-time LH_LOG_LEVEL=debug|info|warn|error pickup, so any binary's
+/// verbosity is switchable without a rebuild or a flag. Unknown values are
+/// ignored (the compiled-in default stays).
+void InitLevelFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("LH_LOG_LEVEL");
+    if (env == nullptr || g_level_explicit.load(std::memory_order_relaxed)) {
+      return;
+    }
+    int level = -1;
+    if (std::strcmp(env, "debug") == 0) {
+      level = static_cast<int>(LogLevel::kDebug);
+    } else if (std::strcmp(env, "info") == 0) {
+      level = static_cast<int>(LogLevel::kInfo);
+    } else if (std::strcmp(env, "warn") == 0) {
+      level = static_cast<int>(LogLevel::kWarn);
+    } else if (std::strcmp(env, "error") == 0) {
+      level = static_cast<int>(LogLevel::kError);
+    }
+    if (level >= 0) g_level.store(level, std::memory_order_relaxed);
+  });
+}
+
+/// Short stable id of the calling thread (hash folded to 4 hex digits —
+/// for correlating interleaved lines, not for identification).
+unsigned ThreadTag() {
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<unsigned>(h & 0xffff);
+}
 }  // namespace
 
 void Logger::SetLevel(LogLevel level) {
+  g_level_explicit.store(true, std::memory_order_relaxed);
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel Logger::GetLevel() {
+  InitLevelFromEnvOnce();
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void Logger::Log(LogLevel level, const std::string& msg) {
+  InitLevelFromEnvOnce();
+  const int64_t elapsed_us = NowMicros() - g_log_epoch_us;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  std::fprintf(stderr, "[%10.6f %04x %s] %s\n",
+               static_cast<double>(elapsed_us) / 1e6, ThreadTag(),
+               LevelName(level), msg.c_str());
 }
 
 }  // namespace lakeharbor

@@ -9,6 +9,12 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Minimal thread-safe logger writing to stderr. Verbosity is a process-wide
 /// setting; tests default it to kWarn to keep output quiet.
+///
+/// At startup the level is picked up once from the LH_LOG_LEVEL environment
+/// variable (debug|info|warn|error; anything else is ignored); an explicit
+/// SetLevel always wins over the environment. Each line is prefixed with a
+/// monotonic seconds-since-start timestamp and a short thread tag:
+///   [  1.042317 9f3a INFO] message
 class Logger {
  public:
   static void SetLevel(LogLevel level);

@@ -1,0 +1,83 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "common/json.h"
+
+namespace lakeharbor::obs {
+
+std::string ToChromeTraceJson(const TraceLog& trace) {
+  // Normalize timestamps so the viewer opens at t=0 instead of hours into
+  // the steady clock's epoch.
+  int64_t t0 = std::numeric_limits<int64_t>::max();
+  for (const Span& span : trace.spans) {
+    if (span.t_start_us < t0) t0 = span.t_start_us;
+  }
+  if (trace.spans.empty()) t0 = 0;
+
+  Json events = Json::MakeArray();
+  std::set<uint32_t> nodes;
+  for (const Span& span : trace.spans) nodes.insert(span.node);
+  for (uint32_t node : nodes) {
+    Json meta = Json::MakeObject();
+    meta.Set("name", Json::MakeString("process_name"));
+    meta.Set("ph", Json::MakeString("M"));
+    meta.Set("pid", Json::MakeNumber(node));
+    meta.Set("tid", Json::MakeNumber(0));
+    Json args = Json::MakeObject();
+    args.Set("name", Json::MakeString("node " + std::to_string(node)));
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+
+  for (const Span& span : trace.spans) {
+    Json event = Json::MakeObject();
+    event.Set("name", Json::MakeString(span.name));
+    event.Set("cat", Json::MakeString(SpanKindName(span.kind)));
+    event.Set("ph", Json::MakeString("X"));
+    event.Set("ts", Json::MakeNumber(
+                        static_cast<double>(span.t_start_us - t0)));
+    event.Set("dur", Json::MakeNumber(static_cast<double>(span.duration_us())));
+    event.Set("pid", Json::MakeNumber(span.node));
+    event.Set("tid", Json::MakeNumber(span.thread));
+    Json args = Json::MakeObject();
+    args.Set("job_id", Json::MakeNumber(static_cast<double>(trace.job_id)));
+    args.Set("stage", Json::MakeNumber(span.stage));
+    for (uint8_t i = 0; i < span.num_attrs; ++i) {
+      args.Set(span.attrs[i].key,
+               Json::MakeNumber(static_cast<double>(span.attrs[i].value)));
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+
+  Json root = Json::MakeObject();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", Json::MakeString("ms"));
+  root.Set("otherData", [&] {
+    Json other = Json::MakeObject();
+    other.Set("job", Json::MakeString(trace.job_name));
+    other.Set("executor", Json::MakeString(trace.executor));
+    other.Set("job_id", Json::MakeNumber(static_cast<double>(trace.job_id)));
+    return other;
+  }());
+  return root.Dump();
+}
+
+Status WriteChromeTraceFile(const TraceLog& trace, const std::string& path) {
+  const std::string json = ToChromeTraceJson(trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::obs

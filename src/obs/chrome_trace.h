@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+/// \file chrome_trace.h
+/// Export a TraceLog as Chrome trace_event JSON (the "JSON Array Format"
+/// wrapped in a {"traceEvents": [...]} object), loadable in chrome://tracing
+/// and Perfetto. Each span becomes one complete ("ph":"X") event: pid is the
+/// simulated node, tid the recorder's dense thread index, ts/dur are
+/// microseconds relative to the trace's earliest span. Metadata events name
+/// each node so the Perfetto track list reads "node 0", "node 1", ...
+
+namespace lakeharbor::obs {
+
+/// Serialize the trace. Deterministic: same spans, same bytes.
+std::string ToChromeTraceJson(const TraceLog& trace);
+
+/// Write ToChromeTraceJson(trace) to `path`.
+Status WriteChromeTraceFile(const TraceLog& trace, const std::string& path);
+
+}  // namespace lakeharbor::obs

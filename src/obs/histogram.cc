@@ -1,0 +1,17 @@
+#include "obs/histogram.h"
+
+#include "common/string_util.h"
+
+namespace lakeharbor::obs {
+
+std::string HistogramSnapshot::Summary() const {
+  if (count == 0) return "n=0";
+  return StrFormat("n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                   static_cast<unsigned long long>(count), Mean(),
+                   static_cast<unsigned long long>(P50()),
+                   static_cast<unsigned long long>(P95()),
+                   static_cast<unsigned long long>(P99()),
+                   static_cast<unsigned long long>(max));
+}
+
+}  // namespace lakeharbor::obs

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file span.h
+/// The trace unit of the observability subsystem: one timed interval inside
+/// one job, attributed to a stage, a simulated node, and the recording
+/// thread. Spans are plain values sized for bulk storage in the recorder's
+/// chunked thread-local buffers — attrs are a fixed inline array (no heap),
+/// and names are the short stage-function names (SSO in practice).
+
+namespace lakeharbor::obs {
+
+/// Span taxonomy (DESIGN.md §11). The kind is what the profiler aggregates
+/// by: Dereference/DerefBatch time is I/O-dominated (the task is blocked on
+/// the simulated device), Referencer time is pure CPU, QueueWait is dwell
+/// between enqueue and dispatch, RetryBackoff is deliberate sleep, Failover
+/// and Hedge are the replica-path detours nested inside dereference spans.
+enum class SpanKind : uint8_t {
+  kReferencer = 0,   ///< one Referencer invocation (CPU)
+  kDereference = 1,  ///< one Dereferencer invocation (I/O)
+  kDerefBatch = 2,   ///< one fused ExecuteBatch invocation (I/O)
+  kQueueWait = 3,    ///< task dwell: enqueue -> dequeue
+  kRetryBackoff = 4, ///< backoff sleep before a retry attempt
+  kFailover = 5,     ///< replica failover hop (skip or re-issued read)
+  kHedge = 6,        ///< hedge arm racing a second replica
+};
+
+inline const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kReferencer:
+      return "referencer";
+    case SpanKind::kDereference:
+      return "dereference";
+    case SpanKind::kDerefBatch:
+      return "deref-batch";
+    case SpanKind::kQueueWait:
+      return "queue-wait";
+    case SpanKind::kRetryBackoff:
+      return "retry-backoff";
+    case SpanKind::kFailover:
+      return "failover";
+    case SpanKind::kHedge:
+      return "hedge";
+  }
+  return "?";
+}
+
+/// One key/value annotation. Keys are string literals (never owned).
+struct SpanAttr {
+  const char* key = nullptr;
+  int64_t value = 0;
+};
+
+struct Span {
+  static constexpr size_t kMaxAttrs = 4;
+
+  std::string name;       ///< stage-function name, or the kind's fixed name
+  SpanKind kind = SpanKind::kReferencer;
+  uint32_t stage = 0;     ///< job stage index the span belongs to
+  uint32_t node = 0;      ///< simulated node the work ran "on"
+  uint32_t thread = 0;    ///< recorder-assigned dense thread index
+  int64_t t_start_us = 0; ///< NowMicros() at span start
+  int64_t t_end_us = 0;   ///< NowMicros() at span end
+  SpanAttr attrs[kMaxAttrs];
+  uint8_t num_attrs = 0;
+
+  int64_t duration_us() const { return t_end_us - t_start_us; }
+
+  /// Attach an annotation; silently dropped past kMaxAttrs.
+  void AddAttr(const char* key, int64_t value) {
+    if (num_attrs < kMaxAttrs) attrs[num_attrs++] = SpanAttr{key, value};
+  }
+
+  /// Value of `key`, or `fallback` when absent.
+  int64_t AttrOr(const char* key, int64_t fallback) const;
+};
+
+}  // namespace lakeharbor::obs

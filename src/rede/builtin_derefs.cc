@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "rede/record_cache.h"
 
 namespace lakeharbor::rede {
@@ -24,6 +25,24 @@ void Bump(const ExecContext& ctx,
   if (ctx.metrics != nullptr) {
     (ctx.metrics->*member).fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+/// Record one failover hop on a traced run: a known-down replica skipped
+/// without a probe (zero-length span, skipped=1) or a read re-issued
+/// against the next replica (span covers the re-issued read).
+void RecordFailoverSpan(const ExecContext& ctx, uint32_t replica,
+                        int64_t t_start_us, int64_t t_end_us, bool skipped) {
+  if (ctx.trace == nullptr) return;
+  obs::Span span;
+  span.name = "failover";
+  span.kind = obs::SpanKind::kFailover;
+  span.stage = ctx.stage;
+  span.node = ctx.node;
+  span.t_start_us = t_start_us;
+  span.t_end_us = t_end_us;
+  span.AddAttr("replica", replica);
+  if (skipped) span.AddAttr("skipped", 1);
+  ctx.trace->Record(std::move(span));
 }
 
 /// Issue a partition read with transparent replica failover. `read` is
@@ -46,11 +65,19 @@ Status ReadWithFailover(const ExecContext& ctx, const io::File& file,
   for (uint32_t r = 0; r < rf; ++r) {
     if (ctx.cluster->NodeIsDown(file.NodeOfReplica(partition, r))) {
       Bump(ctx, &ExecMetricsCounters::failovers);
+      const int64_t now_us = ctx.trace != nullptr ? NowMicros() : 0;
+      RecordFailoverSpan(ctx, r, now_us, now_us, /*skipped=*/true);
       continue;
     }
+    const bool is_hop = attempted;  // a prior replica already answered
     if (attempted) Bump(ctx, &ExecMetricsCounters::failovers);
     if (r > 0) Bump(ctx, &ExecMetricsCounters::replica_reads);
+    const int64_t start_us =
+        (is_hop && ctx.trace != nullptr) ? NowMicros() : 0;
     Status status = read(r);
+    if (is_hop && ctx.trace != nullptr) {
+      RecordFailoverSpan(ctx, r, start_us, NowMicros(), /*skipped=*/false);
+    }
     attempted = true;
     if (status.ok() || !status.IsUnavailable()) return status;
     last = status;
@@ -352,9 +379,22 @@ class PointDereferencer final : public Dereferencer {
     if (primary != live[1] && live[1] > 0) {
       Bump(ctx, &ExecMetricsCounters::replica_reads);
     }
+    const int64_t hedge_start_us = ctx.trace != nullptr ? NowMicros() : 0;
     std::vector<io::Record> secondary;
     Status status = file_->GetInPartitionOnReplica(ctx.node, partition,
                                                    live[1], key, &secondary);
+    if (ctx.trace != nullptr) {
+      obs::Span span;
+      span.name = "hedge";
+      span.kind = obs::SpanKind::kHedge;
+      span.stage = ctx.stage;
+      span.node = ctx.node;
+      span.t_start_us = hedge_start_us;
+      span.t_end_us = NowMicros();
+      span.AddAttr("replica", live[1]);
+      span.AddAttr("won", status.ok() ? 1 : 0);
+      ctx.trace->Record(std::move(span));
+    }
     if (status.ok()) {
       Bump(ctx, &ExecMetricsCounters::hedge_wins);
       ctx.stragglers->Park(std::move(runner));

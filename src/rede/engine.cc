@@ -16,10 +16,12 @@ Engine::Engine(sim::Cluster* cluster, EngineOptions options)
     : cluster_(cluster),
       index_builder_(&catalog_),
       smpe_executor_(cluster, options.smpe),
-      // Both execution modes share one retry policy and cache config, so
-      // ExecuteCollect comparisons across modes see identical failure and
-      // caching semantics (each executor still owns a separate cache).
-      partitioned_executor_(cluster, options.smpe.retry, options.smpe.cache) {
+      // Both execution modes share one retry policy, cache config, and
+      // trace-sampling cadence, so ExecuteCollect comparisons across modes
+      // see identical failure, caching, and observability semantics (each
+      // executor still owns a separate cache and run counter).
+      partitioned_executor_(cluster, options.smpe.retry, options.smpe.cache,
+                            options.smpe.trace_sample_n) {
   LH_CHECK(cluster_ != nullptr);
 }
 
@@ -57,6 +59,7 @@ StatusOr<CollectedResult> Engine::ExecuteCollect(const Job& job,
   CollectedResult collected;
   collected.tuples = collector.TakeTuples();
   collected.metrics = result.metrics;
+  collected.trace = result.trace;
   return collected;
 }
 

@@ -30,7 +30,18 @@ struct EngineOptions {
 struct CollectedResult {
   std::vector<Tuple> tuples;
   MetricsSnapshot metrics;
+  /// The run's span trace when it was traced (SmpeOptions::trace_sample_n),
+  /// nullptr otherwise. Profile with rede::ProfileOf.
+  std::shared_ptr<const obs::TraceLog> trace;
 };
+
+/// Build the query profile of a traced collected run (empty otherwise).
+inline obs::JobProfile ProfileOf(const CollectedResult& result) {
+  JobResult as_job;
+  as_job.metrics = result.metrics;
+  as_job.trace = result.trace;
+  return ProfileOf(as_job);
+}
 
 /// The ReDe engine facade: one simulated cluster, a file catalog, the
 /// structure-maintenance machinery, and the two executors. This is the

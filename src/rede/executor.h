@@ -5,7 +5,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/status_or.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "rede/job.h"
 #include "rede/metrics.h"
 
@@ -18,7 +22,22 @@ using ResultSink = std::function<void(const Tuple& tuple)>;
 /// What an executor returns besides the output stream.
 struct JobResult {
   MetricsSnapshot metrics;
+  /// The run's span trace when this run was traced (see
+  /// SmpeOptions::trace_sample_n), nullptr otherwise.
+  std::shared_ptr<const obs::TraceLog> trace;
 };
+
+/// Build the per-stage/per-node query profile of a traced run, reconciled
+/// against the run's invocation counters. Returns an empty profile when the
+/// run was not traced.
+inline obs::JobProfile ProfileOf(const JobResult& result) {
+  if (result.trace == nullptr) return obs::JobProfile();
+  obs::ProfileInputs inputs;
+  inputs.stage_invocations = result.metrics.StageInvocations();
+  inputs.wall_ms = result.metrics.wall_ms;
+  inputs.overlapped_run = result.metrics.overlapped_run;
+  return obs::JobProfile::Build(*result.trace, inputs);
+}
 
 /// Common interface of the two ReDe execution strategies evaluated in
 /// Fig 7: SmpeExecutor (w/ SMPE) and PartitionedExecutor (w/o SMPE).

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace lakeharbor::rede {
 
 /// Per-stage counters (invocations of the stage function and tuples it
@@ -38,6 +40,15 @@ struct ExecMetricsCounters {
   std::atomic<uint64_t> deref_batched_pointers{0};
   /// Record-cache activity attributed to this run (executors snapshot the
   /// cache's monotonic counters around Execute and add the delta here).
+  ///
+  /// KNOWN ATTRIBUTION GAP: the cache is shared by every run of one
+  /// executor, and these deltas are taken around the whole Execute() call —
+  /// so when two jobs run concurrently on the same executor, each job's
+  /// delta includes the other job's cache activity for the overlapping
+  /// window. The totals across all runs remain exact; the per-job split is
+  /// not. MetricsSnapshot carries `job_id` and `overlapped_run` so the
+  /// profiler (obs::JobProfile) can flag cache numbers from overlapping
+  /// runs as shared rather than per-job.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_admissions{0};
@@ -55,6 +66,15 @@ struct ExecMetricsCounters {
   std::atomic<uint64_t> hedged_reads{0};
   std::atomic<uint64_t> hedge_wins{0};
   std::atomic<uint64_t> broadcast_redirects{0};
+  /// Latency/value distributions (log-scale, fixed buckets — see
+  /// obs/histogram.h). Always on: Record() is an inline clz plus relaxed
+  /// atomic increments, cheap enough for the hot path, and replaces the
+  /// "sum-only" view (a mean hides exactly the tail that faults, hedging
+  /// and failover exist to manage).
+  obs::LatencyHistogram deref_latency_us;   ///< per Dereferencer attempt
+  obs::LatencyHistogram queue_dwell_us;     ///< task enqueue -> dispatch
+  obs::LatencyHistogram deref_batch_size;   ///< pointers per fused batch
+  obs::LatencyHistogram retry_backoff_hist_us;  ///< per backoff sleep
   /// One slot per job stage; constructed by the executor at run start.
   std::vector<StageCounters> per_stage;
 
@@ -99,6 +119,10 @@ struct ExecMetricsCounters {
     hedged_reads = 0;
     hedge_wins = 0;
     broadcast_redirects = 0;
+    deref_latency_us.Reset();
+    queue_dwell_us.Reset();
+    deref_batch_size.Reset();
+    retry_backoff_hist_us.Reset();
     for (auto& stage : per_stage) {
       stage.invocations = 0;
       stage.emitted = 0;
@@ -114,6 +138,13 @@ struct StageSnapshot {
 
 /// Plain copyable snapshot returned with job results.
 struct MetricsSnapshot {
+  /// Process-unique id of the run that produced this snapshot (see
+  /// obs::NextJobId), so metrics, traces, and profiles correlate.
+  uint64_t job_id = 0;
+  /// True when another Execute() overlapped this run on the same executor:
+  /// the cache_* deltas below are then shared across the overlapping jobs,
+  /// not per-job (see the attribution note on ExecMetricsCounters).
+  bool overlapped_run = false;
   uint64_t ref_invocations = 0;
   uint64_t deref_invocations = 0;
   uint64_t tuples_emitted = 0;
@@ -136,7 +167,22 @@ struct MetricsSnapshot {
   uint64_t hedge_wins = 0;
   uint64_t broadcast_redirects = 0;
   double wall_ms = 0.0;
+  obs::HistogramSnapshot deref_latency_us;
+  obs::HistogramSnapshot queue_dwell_us;
+  obs::HistogramSnapshot deref_batch_size;
+  obs::HistogramSnapshot retry_backoff_us_hist;
   std::vector<StageSnapshot> per_stage;
+
+  /// Expected per-stage invocation counts in stage order — the profiler's
+  /// reconciliation input (obs::ProfileInputs::stage_invocations).
+  std::vector<uint64_t> StageInvocations() const {
+    std::vector<uint64_t> counts;
+    counts.reserve(per_stage.size());
+    for (const StageSnapshot& stage : per_stage) {
+      counts.push_back(stage.invocations);
+    }
+    return counts;
+  }
 
   static MetricsSnapshot From(const ExecMetricsCounters& c, double wall_ms) {
     MetricsSnapshot s;
@@ -162,6 +208,10 @@ struct MetricsSnapshot {
     s.hedge_wins = c.hedge_wins.load();
     s.broadcast_redirects = c.broadcast_redirects.load();
     s.wall_ms = wall_ms;
+    s.deref_latency_us = c.deref_latency_us.Snapshot();
+    s.queue_dwell_us = c.queue_dwell_us.Snapshot();
+    s.deref_batch_size = c.deref_batch_size.Snapshot();
+    s.retry_backoff_us_hist = c.retry_backoff_hist_us.Snapshot();
     s.per_stage.reserve(c.per_stage.size());
     for (const auto& stage : c.per_stage) {
       s.per_stage.push_back(

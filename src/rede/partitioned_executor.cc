@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace lakeharbor::rede {
 
@@ -15,6 +16,9 @@ struct WorkerShared {
   sim::Cluster* cluster;
   RetryPolicy retry;
   RecordCache* cache = nullptr;
+  /// Recorder of a sampled run, nullptr otherwise (same fast-path contract
+  /// as the SMPE executor: untraced runs only ever pay this null check).
+  obs::TraceRecorder* trace = nullptr;
   ExecMetricsCounters metrics;
   std::mutex sink_mutex;
   const ResultSink* sink;
@@ -35,39 +39,75 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
   }
   const StageFunction& fn = *shared.job->stages()[stage];
   ExecContext ctx{node, shared.cluster, &shared.metrics, shared.cache};
+  ctx.trace = shared.trace;
+  ctx.stage = static_cast<uint32_t>(stage);
   std::vector<Tuple> outs;
+  const int64_t work_start_us = shared.trace != nullptr ? NowMicros() : 0;
+  size_t attempts = 1;
+  Status work_status;
   if (fn.IsDereferencer()) {
     // Bounded per-invocation retry of retryable device failures, with the
     // same exactly-once guarantee as SMPE: partial emissions of a failed
     // attempt are discarded before re-executing.
-    Status status = RunWithRetry(
+    work_status = RunWithRetry(
         shared.retry,
         [&]() -> Status {
           outs.clear();
           shared.metrics.deref_invocations.fetch_add(1,
                                                      std::memory_order_relaxed);
           shared.metrics.EnterDeref();
+          const int64_t attempt_start_us = NowMicros();
           Status attempt = fn.Execute(ctx, tuple, &outs);
+          const int64_t attempt_us = NowMicros() - attempt_start_us;
+          shared.metrics.deref_latency_us.Record(
+              attempt_us > 0 ? static_cast<uint64_t>(attempt_us) : 0);
           shared.metrics.ExitDeref();
           return attempt;
         },
-        [&](size_t, uint64_t backoff_us) {
+        [&](size_t retry_index, uint64_t backoff_us) {
+          attempts = retry_index + 1;
           shared.metrics.retries.fetch_add(1, std::memory_order_relaxed);
           shared.metrics.retry_backoff_us.fetch_add(backoff_us,
                                                     std::memory_order_relaxed);
+          shared.metrics.retry_backoff_hist_us.Record(backoff_us);
+          if (shared.trace != nullptr) {
+            // The observer fires just before RunWithRetry sleeps; the span
+            // covers the REQUESTED backoff interval.
+            obs::Span span;
+            span.name = "retry-backoff";
+            span.kind = obs::SpanKind::kRetryBackoff;
+            span.stage = static_cast<uint32_t>(stage);
+            span.node = node;
+            span.t_start_us = NowMicros();
+            span.t_end_us = span.t_start_us + static_cast<int64_t>(backoff_us);
+            span.AddAttr("retry", static_cast<int64_t>(retry_index));
+            span.AddAttr("backoff_us", static_cast<int64_t>(backoff_us));
+            shared.trace->Record(std::move(span));
+          }
         });
-    // RunWithRetry already appended the attempt count; add which stage,
-    // function, and node so a post-mortem needs no guessing.
-    LH_RETURN_NOT_OK(status.WithContext("stage " + std::to_string(stage) +
-                                        " (" + fn.name() + ") on node " +
-                                        std::to_string(node)));
   } else {
     shared.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
-    LH_RETURN_NOT_OK(fn.Execute(ctx, tuple, &outs)
-                         .WithContext("stage " + std::to_string(stage) + " (" +
-                                      fn.name() + ") on node " +
-                                      std::to_string(node)));
+    work_status = fn.Execute(ctx, tuple, &outs);
   }
+  if (shared.trace != nullptr) {
+    obs::Span span;
+    span.name = fn.name();
+    span.kind = fn.IsDereferencer() ? obs::SpanKind::kDereference
+                                    : obs::SpanKind::kReferencer;
+    span.stage = static_cast<uint32_t>(stage);
+    span.node = node;
+    span.t_start_us = work_start_us;
+    span.t_end_us = NowMicros();
+    span.AddAttr("emitted", static_cast<int64_t>(outs.size()));
+    span.AddAttr("attempts", static_cast<int64_t>(attempts));
+    if (!work_status.ok()) span.AddAttr("failed", 1);
+    shared.trace->Record(std::move(span));
+  }
+  // The retry loop already appended the attempt count; add which stage,
+  // function, and node so a post-mortem needs no guessing.
+  LH_RETURN_NOT_OK(work_status.WithContext(
+      "stage " + std::to_string(stage) + " (" + fn.name() + ") on node " +
+      std::to_string(node)));
   shared.metrics.tuples_emitted.fetch_add(outs.size(),
                                           std::memory_order_relaxed);
   shared.metrics.CountStage(stage, outs.size());
@@ -89,6 +129,14 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
   shared.cache = cache_.get();
   shared.sink = &sink;
   shared.metrics.InitStages(job.num_stages());
+  const uint64_t job_id = obs::NextJobId();
+  const uint64_t run_seq = run_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (trace_sample_n_ > 0 && run_seq % trace_sample_n_ == 0) {
+    recorder = std::make_unique<obs::TraceRecorder>(job_id);
+    shared.trace = recorder.get();
+  }
+  bool overlapped = active_runs_.fetch_add(1, std::memory_order_acq_rel) > 0;
   RecordCacheStats cache_before;
   if (cache_ != nullptr) cache_before = cache_->stats();
 
@@ -111,6 +159,10 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
     }
     for (auto& worker : workers) worker.join();
   }
+  // End of the overlap window: anyone still active now overlapped us.
+  if (active_runs_.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+    overlapped = true;
+  }
   if (cache_ != nullptr) {
     RecordCacheStats after = cache_->stats();
     shared.metrics.cache_hits.fetch_add(after.hits - cache_before.hits);
@@ -127,6 +179,17 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
   }
   JobResult result;
   result.metrics = MetricsSnapshot::From(shared.metrics, watch.ElapsedMillis());
+  result.metrics.job_id = job_id;
+  result.metrics.overlapped_run = overlapped;
+  if (recorder != nullptr) {
+    // All workers joined above, so collecting the chunks is race-free.
+    auto log = std::make_shared<obs::TraceLog>();
+    log->job_id = job_id;
+    log->job_name = job.name();
+    log->executor = name_;
+    log->spans = recorder->Collect();
+    result.trace = std::move(log);
+  }
   return result;
 }
 

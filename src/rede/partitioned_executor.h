@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -22,9 +23,12 @@ namespace lakeharbor::rede {
 /// backoff and discarded partial emissions); permanent errors fail fast.
 class PartitionedExecutor final : public Executor {
  public:
+  /// `trace_sample_n` has the same semantics as SmpeOptions::trace_sample_n:
+  /// 0 = never trace, 1 = every run, N = every Nth Execute() call.
   explicit PartitionedExecutor(sim::Cluster* cluster, RetryPolicy retry = {},
-                               RecordCacheOptions cache = {})
-      : cluster_(cluster), retry_(retry) {
+                               RecordCacheOptions cache = {},
+                               uint64_t trace_sample_n = 0)
+      : cluster_(cluster), retry_(retry), trace_sample_n_(trace_sample_n) {
     LH_CHECK(cluster_ != nullptr);
     if (cache.enabled) cache_ = std::make_unique<RecordCache>(cache);
   }
@@ -42,7 +46,12 @@ class PartitionedExecutor final : public Executor {
   std::string name_ = "rede-partitioned";
   sim::Cluster* cluster_;
   RetryPolicy retry_;
+  uint64_t trace_sample_n_ = 0;
   std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
+  /// Monotonic Execute() counter driving per-job trace sampling.
+  std::atomic<uint64_t> run_seq_{0};
+  /// Concurrent Execute() calls, for the cache-attribution overlap flag.
+  std::atomic<int64_t> active_runs_{0};
 };
 
 }  // namespace lakeharbor::rede

@@ -10,6 +10,7 @@
 #include "common/cancel.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "obs/trace.h"
 #include "rede/deref_batch.h"
 
 namespace lakeharbor::rede {
@@ -21,12 +22,31 @@ size_t ApproxTupleBytes(const Tuple& tuple) {
   for (const auto& record : tuple.records) bytes += record.size();
   return bytes + 16;
 }
+
+/// Emit the queue-wait span of a dequeued task (traced runs only).
+void RecordQueueWaitSpan(obs::TraceRecorder* trace, size_t stage,
+                         sim::NodeId node, int64_t enqueue_us,
+                         int64_t dequeue_us) {
+  if (trace == nullptr || enqueue_us <= 0 || dequeue_us < enqueue_us) return;
+  obs::Span span;
+  span.name = "queue-wait";
+  span.kind = obs::SpanKind::kQueueWait;
+  span.stage = static_cast<uint32_t>(stage);
+  span.node = node;
+  span.t_start_us = enqueue_us;
+  span.t_end_us = dequeue_us;
+  trace->Record(std::move(span));
+}
 }  // namespace
 
 /// All state of one Execute() call. Kept off the executor object so that
 /// concurrent Execute() calls (sharing only the immutable pools) are safe.
 struct SmpeExecutor::RunState {
   const Job* job = nullptr;
+  uint64_t job_id = 0;
+  /// Recorder of a sampled run, nullptr otherwise (the untraced fast path
+  /// is this null check — no span work, no allocations).
+  obs::TraceRecorder* trace = nullptr;
   ExecMetricsCounters metrics;
   InflightTracker inflight;
   std::vector<std::unique_ptr<MpmcQueue<Task>>> queues;
@@ -65,7 +85,8 @@ SmpeExecutor::SmpeExecutor(sim::Cluster* cluster, SmpeOptions options)
     // would only sit idle.
     pools_.reserve(cluster_->num_nodes());
     for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
-      pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node));
+      pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node,
+                                                    &pool_dwell_));
     }
   }
   if (options_.cache.enabled) {
@@ -86,9 +107,20 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
     return;
   }
   LH_CHECK(!task.tuples.empty());
+  // Queue dwell: stamped at enqueue (Route/SeedInitial), measured here. The
+  // histogram is always on; the span only exists on traced runs.
+  const int64_t dequeue_us = NowMicros();
+  if (task.enqueue_us > 0 && dequeue_us >= task.enqueue_us) {
+    state.metrics.queue_dwell_us.Record(
+        static_cast<uint64_t>(dequeue_us - task.enqueue_us));
+  }
+  RecordQueueWaitSpan(state.trace, task.stage, node, task.enqueue_us,
+                      dequeue_us);
   const StageFunction& fn = *state.job->stages()[task.stage];
   ExecContext ctx{node, cluster_, &state.metrics, cache_.get()};
   ctx.cancel = &state.cancel;
+  ctx.trace = state.trace;
+  ctx.stage = static_cast<uint32_t>(task.stage);
   if (options_.deterministic_seed == 0 && options_.hedge.enabled) {
     ctx.hedge = options_.hedge;
     ctx.stragglers = &state.stragglers;
@@ -101,7 +133,9 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
     state.metrics.deref_batches.fetch_add(1, std::memory_order_relaxed);
     state.metrics.deref_batched_pointers.fetch_add(task.tuples.size(),
                                                    std::memory_order_relaxed);
+    state.metrics.deref_batch_size.Record(task.tuples.size());
   }
+  const int64_t work_start_us = dequeue_us;
   for (;;) {
     outs.clear();  // discard partial emissions of a failed attempt
     if (fn.IsDereferencer()) {
@@ -109,8 +143,12 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
       state.metrics.EnterDeref();
       // A failed ExecuteBatch invalidated its own cache admissions, so a
       // retry below re-reads the whole batch instead of re-admitting it.
+      const int64_t attempt_start_us = NowMicros();
       status = batched ? fn.ExecuteBatch(ctx, task.tuples, &outs)
                        : fn.Execute(ctx, task.tuples.front(), &outs);
+      const int64_t attempt_us = NowMicros() - attempt_start_us;
+      state.metrics.deref_latency_us.Record(
+          attempt_us > 0 ? static_cast<uint64_t>(attempt_us) : 0);
       state.metrics.ExitDeref();
     } else {
       // Referencer tasks are always singletons (Route never batches them).
@@ -129,9 +167,42 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
     state.metrics.retries.fetch_add(1, std::memory_order_relaxed);
     state.metrics.retry_backoff_us.fetch_add(backoff_us,
                                              std::memory_order_relaxed);
+    state.metrics.retry_backoff_hist_us.Record(backoff_us);
     if (backoff_us > 0) {
+      const int64_t sleep_start_us = NowMicros();
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      if (state.trace != nullptr) {
+        obs::Span span;
+        span.name = "retry-backoff";
+        span.kind = obs::SpanKind::kRetryBackoff;
+        span.stage = static_cast<uint32_t>(task.stage);
+        span.node = node;
+        span.t_start_us = sleep_start_us;
+        span.t_end_us = NowMicros();
+        span.AddAttr("retry", static_cast<int64_t>(retry));
+        span.AddAttr("backoff_us", static_cast<int64_t>(backoff_us));
+        state.trace->Record(std::move(span));
+      }
     }
+  }
+  if (state.trace != nullptr) {
+    // One work span per counted invocation: the profiler reconciles
+    // successful work-span counts against CountStage's counters, so a span
+    // of a failed task is marked and excluded rather than skipped.
+    obs::Span span;
+    span.name = fn.name();
+    span.kind = batched ? obs::SpanKind::kDerefBatch
+                : fn.IsDereferencer() ? obs::SpanKind::kDereference
+                                      : obs::SpanKind::kReferencer;
+    span.stage = static_cast<uint32_t>(task.stage);
+    span.node = node;
+    span.t_start_us = work_start_us;
+    span.t_end_us = NowMicros();
+    span.AddAttr("emitted", static_cast<int64_t>(outs.size()));
+    span.AddAttr("attempts", static_cast<int64_t>(retry + 1));
+    if (batched) span.AddAttr("batch", static_cast<int64_t>(task.tuples.size()));
+    if (!status.ok()) span.AddAttr("failed", 1);
+    state.trace->Record(std::move(span));
   }
   if (!status.ok()) {
     state.metrics.tasks_dropped_on_failure.fetch_add(1,
@@ -186,9 +257,25 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
       // The paper's optimization: Referencers are lightweight, so run them
       // on the emitting thread instead of round-tripping through the queue.
       ExecContext ctx{node, cluster_, &state.metrics};
+      ctx.trace = state.trace;
+      ctx.stage = static_cast<uint32_t>(pending.stage);
       std::vector<Tuple> outs;
       state.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
+      const int64_t start_us = state.trace != nullptr ? NowMicros() : 0;
       Status status = next_fn.Execute(ctx, pending.tuple, &outs);
+      if (state.trace != nullptr) {
+        obs::Span span;
+        span.name = next_fn.name();
+        span.kind = obs::SpanKind::kReferencer;
+        span.stage = static_cast<uint32_t>(pending.stage);
+        span.node = node;
+        span.t_start_us = start_us;
+        span.t_end_us = NowMicros();
+        span.AddAttr("emitted", static_cast<int64_t>(outs.size()));
+        span.AddAttr("inline", 1);
+        if (!status.ok()) span.AddAttr("failed", 1);
+        state.trace->Record(std::move(span));
+      }
       if (!status.ok()) {
         state.RecordError(status, next_fn.name());
         return;
@@ -249,7 +336,8 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
         copy.resolve_local = true;
         copy.resolve_owner = owner;
         state.inflight.Add();
-        if (!state.queues[dest]->Push(Task{pending.stage, {std::move(copy)}})) {
+        if (!state.queues[dest]->Push(
+                Task{pending.stage, {std::move(copy)}, NowMicros()})) {
           // Queue already closed (shutdown): the task will never run, so
           // balance the in-flight count or AwaitZero() hangs forever.
           state.inflight.Done();
@@ -267,7 +355,7 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
     // node; its Dereferencer performs the possibly-remote fetch.
     state.inflight.Add();
     if (!state.queues[node]->Push(
-            Task{pending.stage, {std::move(pending.tuple)}})) {
+            Task{pending.stage, {std::move(pending.tuple)}, NowMicros()})) {
       state.inflight.Done();  // rejected enqueue: balance or deadlock
     }
   }
@@ -277,7 +365,8 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
     for (PointerBatch& batch : CoalesceByPartition(
              std::move(buffered), fn, options_.batch.max_batch_size)) {
       state.inflight.Add();
-      if (!state.queues[node]->Push(Task{stage, std::move(batch.tuples)})) {
+      if (!state.queues[node]->Push(
+              Task{stage, std::move(batch.tuples), NowMicros()})) {
         state.inflight.Done();
       }
     }
@@ -293,11 +382,15 @@ void SmpeExecutor::SeedInitial(RunState& state) const {
   if (initial.resolve_local) {
     state.inflight.Add(num_nodes);
     for (uint32_t n = 0; n < num_nodes; ++n) {
-      if (!state.queues[n]->Push(Task{0, {initial}})) state.inflight.Done();
+      if (!state.queues[n]->Push(Task{0, {initial}, NowMicros()})) {
+        state.inflight.Done();
+      }
     }
   } else {
     state.inflight.Add();
-    if (!state.queues[0]->Push(Task{0, {initial}})) state.inflight.Done();
+    if (!state.queues[0]->Push(Task{0, {initial}, NowMicros()})) {
+      state.inflight.Done();
+    }
   }
 }
 
@@ -339,8 +432,22 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   StopWatch watch;
   RunState state;
   state.job = &job;
+  state.job_id = obs::NextJobId();
   state.sink = sink;
   state.metrics.InitStages(job.num_stages());
+  // Per-JOB sampling: either the whole run is traced (so profiles reconcile
+  // exactly against the run's counters) or no recorder exists at all and
+  // tracing costs one null check per task.
+  const uint64_t run_seq = run_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (options_.trace_sample_n > 0 && run_seq % options_.trace_sample_n == 0) {
+    recorder = std::make_unique<obs::TraceRecorder>(state.job_id);
+    state.trace = recorder.get();
+  }
+  // Overlap detection for the cache-attribution gap (see rede/metrics.h):
+  // if any other Execute() is active at entry or entered before we finish,
+  // this run's cache deltas are shared, not per-job.
+  bool overlapped = active_runs_.fetch_add(1, std::memory_order_acq_rel) > 0;
   const uint32_t num_nodes = cluster_->num_nodes();
   state.queues.reserve(num_nodes);
   for (uint32_t n = 0; n < num_nodes; ++n) {
@@ -416,6 +523,10 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   // Hedge-race losers may still be inside the simulated device stack; they
   // must finish before this run's state is torn down. Zero leaked tasks.
   state.stragglers.JoinAll();
+  // End of the overlap window: anyone still active now overlapped us.
+  if (active_runs_.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+    overlapped = true;
+  }
 
   if (cache_ != nullptr) {
     RecordCacheStats after = cache_->stats();
@@ -432,6 +543,16 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   if (state.cancel.cancelled()) return state.cancel.cause();
   JobResult result;
   result.metrics = MetricsSnapshot::From(state.metrics, watch.ElapsedMillis());
+  result.metrics.job_id = state.job_id;
+  result.metrics.overlapped_run = overlapped;
+  if (recorder != nullptr) {
+    auto log = std::make_shared<obs::TraceLog>();
+    log->job_id = state.job_id;
+    log->job_name = job.name();
+    log->executor = name_;
+    log->spans = recorder->Collect();
+    result.trace = std::move(log);
+  }
   return result;
 }
 

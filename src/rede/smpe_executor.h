@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -74,6 +75,15 @@ struct SmpeOptions {
   /// seeds explore different (but valid) schedules. No dispatcher threads
   /// or pools are used. For tests.
   uint64_t deterministic_seed = 0;
+
+  /// Per-job trace sampling: 0 disables tracing entirely (the default — the
+  /// hot path then performs no span work and no allocations), 1 traces
+  /// every job, N traces every Nth Execute() call. A traced job records a
+  /// span for every stage invocation, dereference batch, queue wait,
+  /// retry-backoff sleep, failover hop, and hedge arm; the trace rides back
+  /// on JobResult::trace (export with obs::ToChromeTraceJson, profile with
+  /// rede::ProfileOf).
+  uint64_t trace_sample_n = 0;
 };
 
 /// Scalable Massively Parallel Execution (Algorithm 1).
@@ -106,12 +116,19 @@ class SmpeExecutor final : public Executor {
   /// The executor's record cache, or nullptr when caching is disabled.
   RecordCache* record_cache() const { return cache_.get(); }
 
+  /// Dwell distribution of the per-node thread-pool queues, accumulated
+  /// across every run of this executor (the pools outlive runs).
+  const obs::LatencyHistogram& pool_dwell_us() const { return pool_dwell_; }
+
  private:
   /// A fine-grained unit of work: one tuple normally, or a coalesced batch
   /// of same-partition keyed tuples when batching is enabled.
+  /// `enqueue_us` is stamped when the task enters a node queue, so the
+  /// dequeueing thread can attribute queue dwell.
   struct Task {
     size_t stage;
     std::vector<Tuple> tuples;
+    int64_t enqueue_us = 0;
   };
   struct RunState;  // per-Execute state; defined in .cc
 
@@ -125,8 +142,13 @@ class SmpeExecutor final : public Executor {
   std::string name_ = "rede-smpe";
   sim::Cluster* cluster_;
   SmpeOptions options_;
+  obs::LatencyHistogram pool_dwell_;  // must outlive pools_
   std::vector<std::unique_ptr<ThreadPool>> pools_;  // one per node
   std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
+  /// Monotonic Execute() counter driving per-job trace sampling.
+  std::atomic<uint64_t> run_seq_{0};
+  /// Concurrent Execute() calls, for the cache-attribution overlap flag.
+  std::atomic<int64_t> active_runs_{0};
 };
 
 }  // namespace lakeharbor::rede

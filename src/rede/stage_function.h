@@ -7,6 +7,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "io/pointer.h"
+#include "obs/trace.h"
 #include "rede/hedge.h"
 #include "rede/metrics.h"
 #include "rede/tuple.h"
@@ -33,6 +34,12 @@ struct ExecContext {
   /// support cooperative cancellation. Long-running stage functions should
   /// poll it and bail out early with its cause.
   const CancelToken* cancel = nullptr;
+  /// Trace recorder of a traced run, or nullptr (the common case — tracing
+  /// is sampled per job, see SmpeOptions::trace_sample_n). Stage functions
+  /// emit failover/hedge spans through it; `stage` tells them which job
+  /// stage the invocation belongs to.
+  obs::TraceRecorder* trace = nullptr;
+  uint32_t stage = 0;
 };
 
 /// Base of the two function kinds composing a ReDe job (§III-B). The

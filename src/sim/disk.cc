@@ -49,13 +49,15 @@ void Disk::SleepUs(double us) const {
 Status Disk::RandomRead(size_t bytes) {
   double latency_scale = 1.0;
   LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
+  const double service_us =
+      static_cast<double>(options_.random_read_latency_us) * latency_scale;
   if (options_.timing_enabled) {
     SemaphoreGuard guard(slots_);
-    SleepUs(static_cast<double>(options_.random_read_latency_us) *
-            latency_scale);
+    SleepUs(service_us);
   }
   stats_.random_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_random.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.RecordService(service_us);
   return Status::OK();
 }
 
@@ -63,17 +65,20 @@ Status Disk::BatchRandomRead(size_t ops, size_t bytes) {
   if (ops == 0) return Status::OK();
   double latency_scale = 1.0;
   LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
+  const double service_us =
+      (static_cast<double>(options_.random_read_latency_us) +
+       static_cast<double>(ops - 1) *
+           static_cast<double>(options_.batch_followup_latency_us)) *
+      latency_scale;
   if (options_.timing_enabled) {
     SemaphoreGuard guard(slots_);
-    double us = static_cast<double>(options_.random_read_latency_us) +
-                static_cast<double>(ops - 1) *
-                    static_cast<double>(options_.batch_followup_latency_us);
-    SleepUs(us * latency_scale);
+    SleepUs(service_us);
   }
   stats_.random_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.batched_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.batched_ops.fetch_add(ops, std::memory_order_relaxed);
   stats_.bytes_random.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.RecordService(service_us);
   return Status::OK();
 }
 
@@ -94,6 +99,7 @@ Status Disk::SequentialRead(size_t bytes) {
     }
     stats_.sequential_chunks.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_sequential.fetch_add(chunk, std::memory_order_relaxed);
+    stats_.RecordService(static_cast<double>(chunk) * us_per_byte);
     remaining -= chunk;
   }
   return Status::OK();
@@ -102,13 +108,15 @@ Status Disk::SequentialRead(size_t bytes) {
 Status Disk::Write(size_t bytes) {
   double latency_scale = 1.0;
   LH_RETURN_NOT_OK(MaybeFault(&latency_scale));
+  const double service_us =
+      static_cast<double>(options_.random_read_latency_us) * latency_scale;
   if (options_.timing_enabled) {
     SemaphoreGuard guard(slots_);
-    SleepUs(static_cast<double>(options_.random_read_latency_us) *
-            latency_scale);
+    SleepUs(service_us);
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.RecordService(service_us);
   return Status::OK();
 }
 

@@ -14,11 +14,15 @@ Status Network::Transfer(size_t bytes) {
   if (decision.spiked()) {
     stats_.injected_latency_spikes.fetch_add(1, std::memory_order_relaxed);
   }
+  // Modeled (unscaled-by-time_scale) message service time; time_scale only
+  // compresses host sleeps, not the cost model.
+  const double service_us =
+      (static_cast<double>(options_.message_latency_us) +
+       static_cast<double>(bytes) * 1e6 /
+           static_cast<double>(options_.bandwidth_bytes_per_sec)) *
+      decision.latency_scale;
   if (options_.timing_enabled) {
-    double us = static_cast<double>(options_.message_latency_us) +
-                static_cast<double>(bytes) * 1e6 /
-                    static_cast<double>(options_.bandwidth_bytes_per_sec);
-    us *= options_.time_scale * decision.latency_scale;
+    double us = service_us * options_.time_scale;
     if (us >= 1.0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<int64_t>(us)));
@@ -26,6 +30,7 @@ Status Network::Transfer(size_t bytes) {
   }
   stats_.network_messages.fetch_add(1, std::memory_order_relaxed);
   stats_.network_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.RecordService(service_us);
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/histogram.h"
+
 namespace lakeharbor::sim {
 
 /// Device-level operation counters, maintained regardless of whether timing
@@ -25,6 +27,12 @@ struct ResourceStats {
   std::atomic<uint64_t> network_bytes{0};
   std::atomic<uint64_t> injected_faults{0};
   std::atomic<uint64_t> injected_latency_spikes{0};
+  /// MODELED service time per device operation in microseconds (what the
+  /// cost model charges, including fault-injected latency scaling) — NOT
+  /// host wall time, so the distribution is identical whether timing
+  /// simulation sleeps or not. This is the device-time attribution the
+  /// profiler cross-checks executor-side I/O spans against.
+  obs::LatencyHistogram service_us;
 
   void Reset() {
     random_reads = 0;
@@ -39,8 +47,13 @@ struct ResourceStats {
     network_bytes = 0;
     injected_faults = 0;
     injected_latency_spikes = 0;
+    service_us.Reset();
   }
 
+  /// Charge one operation's modeled service time (microseconds, rounded).
+  void RecordService(double us) {
+    service_us.Record(us > 0.0 ? static_cast<uint64_t>(us) : 0);
+  }
 };
 
 /// Plain copyable aggregate of ResourceStats (what Cluster::TotalStats
@@ -58,6 +71,7 @@ struct ResourceTotals {
   uint64_t network_bytes = 0;
   uint64_t injected_faults = 0;
   uint64_t injected_latency_spikes = 0;
+  obs::HistogramSnapshot service_us;
 
   void Merge(const ResourceStats& other) {
     random_reads += other.random_reads.load();
@@ -72,6 +86,7 @@ struct ResourceTotals {
     network_bytes += other.network_bytes.load();
     injected_faults += other.injected_faults.load();
     injected_latency_spikes += other.injected_latency_spikes.load();
+    service_us.Merge(other.service_us.Snapshot());
   }
 };
 
