@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Build the chaos-labeled test suites (fault injection, deterministic
-# scheduling, replica failover / deadlines) under ThreadSanitizer and run
-# them. The chaos tests exercise every cross-thread handoff in the executor
-# stack — outage flips mid-run, hedge races, cancellation, queue drains — so
-# a TSan-clean pass is the "zero leaked inflight tasks, no torn state"
-# acceptance gate. The obs-labeled suite (trace recorder, histograms,
+# scheduling, replica failover / deadlines, multi-tenant job scheduling)
+# under ThreadSanitizer and run them. The chaos tests exercise every
+# cross-thread handoff in the executor stack — outage flips mid-run, hedge
+# races, cancellation, queue drains, overlapped runs sharing one record
+# cache (sched_test) — so a TSan-clean pass is the "zero leaked inflight
+# tasks, no torn state" acceptance gate. The obs-labeled suite (trace recorder, histograms,
 # profiler) rides along: its lock-free thread-local span buffers are exactly
 # the kind of code TSan exists for.
 #

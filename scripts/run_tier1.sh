@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build the full tree (tests, benches, examples)
-# with warnings-as-errors and run the complete ctest suite. This is the
-# one-command check a PR must keep green.
+# with warnings-as-errors and run the complete ctest suite — including the
+# scheduler suites (sched_test, schedule_test) and the bench_smoke runs
+# (traffic_mix among them). This is the one-command check a PR must keep
+# green.
 #
 # Usage: scripts/run_tier1.sh [build-dir]   (default: build)
 #

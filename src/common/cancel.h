@@ -1,6 +1,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <utility>
 
@@ -17,7 +19,8 @@ namespace lakeharbor {
 
 /// First-cause-wins cancellation flag. `cancelled()` is a cheap atomic
 /// check suitable for hot loops; the cause is stored under a mutex so the
-/// Status (a shared_ptr) is published safely.
+/// Status (a shared_ptr) is published safely. `WaitFor` makes backoff
+/// sleeps interruptible: a cancelled job never drains a full sleep_for.
 class CancelToken {
  public:
   CancelToken() = default;
@@ -28,10 +31,13 @@ class CancelToken {
   /// gets `true`; later causes are dropped (the root cause is what the run
   /// reports).
   bool Cancel(Status cause) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (cancelled_.load(std::memory_order_relaxed)) return false;
-    cause_ = std::move(cause);
-    cancelled_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cancelled_.load(std::memory_order_relaxed)) return false;
+      cause_ = std::move(cause);
+      cancelled_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
     return true;
   }
 
@@ -45,6 +51,18 @@ class CancelToken {
     return cause_;
   }
 
+  /// Block for up to `timeout_us` microseconds or until the token is
+  /// cancelled, whichever comes first. Returns true when the token is
+  /// cancelled (the wait was interrupted), false when the full timeout
+  /// elapsed. This is the interruptible replacement for backoff
+  /// `sleep_for`s: retry ladders wake immediately on cancellation.
+  bool WaitFor(uint64_t timeout_us) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+      return cancelled_.load(std::memory_order_relaxed);
+    });
+  }
+
   /// Re-arm for a new run (callers must guarantee quiescence).
   void Reset() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -54,6 +72,7 @@ class CancelToken {
 
  private:
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   std::atomic<bool> cancelled_{false};
   Status cause_;
 };

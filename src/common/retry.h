@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "common/cancel.h"
+#include "common/hash.h"
 #include "common/status.h"
 
 /// \file retry.h
@@ -29,6 +31,13 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   /// Upper bound on a single backoff sleep.
   uint64_t backoff_max_us = 5000;
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a deterministic
+  /// per-(seed, retry) factor drawn from [1 - jitter, 1]. 0 keeps the exact
+  /// classic ladder. Concurrent jobs hammering the same faulty node pass
+  /// distinct seeds (job id ⊕ node ⊕ attempt) so their retries de-sync
+  /// instead of storming the device in lockstep — while a fixed
+  /// `deterministic_seed` still reproduces the same schedule run-to-run.
+  double jitter = 0.0;
 
   bool enabled() const { return max_retries > 0; }
 
@@ -43,6 +52,23 @@ struct RetryPolicy {
     if (us >= static_cast<double>(backoff_max_us)) return backoff_max_us;
     return static_cast<uint64_t>(us);
   }
+
+  /// BackoffUs with the deterministic jitter applied. `seed` identifies the
+  /// retrying context (job ⊕ node ⊕ task); two contexts with different
+  /// seeds land on different points of the [1 - jitter, 1] band, so their
+  /// ladders diverge from the very first retry.
+  uint64_t JitteredBackoffUs(size_t retry_index, uint64_t seed) const {
+    const uint64_t base = BackoffUs(retry_index);
+    if (jitter <= 0.0 || base == 0) return base;
+    const uint64_t bits = Mix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                                        static_cast<uint64_t>(retry_index)));
+    // 53 mantissa bits -> uniform double in [0, 1).
+    const double unit = static_cast<double>(bits >> 11) *
+                        (1.0 / 9007199254740992.0);
+    const double factor = 1.0 - jitter * unit;
+    const double us = static_cast<double>(base) * factor;
+    return us < 1.0 ? 1 : static_cast<uint64_t>(us);
+  }
 };
 
 /// Called before each backoff sleep with the 1-based retry index and the
@@ -55,11 +81,19 @@ using RetryObserver = std::function<void(size_t retry_index,
 /// permanent errors and exhausted retries surface immediately. An exhausted
 /// retryable error keeps its original code and message, prefixed with the
 /// attempt count for context.
+///
+/// When `cancel` is non-null the backoff waits on the token instead of an
+/// unconditional sleep_for: a cancelled job stops within one backoff
+/// quantum, returning the token's cause. `jitter_seed` feeds
+/// JitteredBackoffUs (ignored when policy.jitter == 0).
 template <typename Op>
 Status RunWithRetry(const RetryPolicy& policy, Op&& op,
-                    const RetryObserver& observe = nullptr) {
+                    const RetryObserver& observe = nullptr,
+                    CancelToken* cancel = nullptr,
+                    uint64_t jitter_seed = 0) {
   size_t attempt = 0;
   for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) return cancel->cause();
     Status status = op();
     if (status.ok() || !status.IsRetryable()) return status;
     if (attempt >= policy.max_retries) {
@@ -69,10 +103,14 @@ Status RunWithRetry(const RetryPolicy& policy, Op&& op,
                                       " attempts");
     }
     ++attempt;
-    const uint64_t backoff_us = policy.BackoffUs(attempt);
+    const uint64_t backoff_us = policy.JitteredBackoffUs(attempt, jitter_seed);
     if (observe) observe(attempt, backoff_us);
     if (backoff_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      if (cancel != nullptr) {
+        if (cancel->WaitFor(backoff_us)) return cancel->cause();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
     }
   }
 }

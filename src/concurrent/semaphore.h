@@ -1,9 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 
+#include "common/cancel.h"
 #include "common/macros.h"
 
 namespace lakeharbor {
@@ -11,7 +13,7 @@ namespace lakeharbor {
 /// Counting semaphore with a runtime-chosen permit count (std::counting_
 /// semaphore fixes the maximum at compile time). Models bounded device
 /// concurrency in sim::Disk — the queue-depth analogue of the paper's
-/// `queue_depth=1008` setting.
+/// `queue_depth=1008` setting — and the scheduler's per-node disk slots.
 class Semaphore {
  public:
   explicit Semaphore(size_t permits) : permits_(permits) {}
@@ -23,10 +25,43 @@ class Semaphore {
     --permits_;
   }
 
+  /// Cancellable bulk acquire of `n` permits (all-or-nothing). Blocks until
+  /// the permits are available or `cancel` fires; returns true on success,
+  /// false when cancelled without taking any permits. Admission queueing
+  /// uses this so a job whose deadline expires while waiting for disk slots
+  /// leaves the queue promptly instead of grabbing slots it can't use. The
+  /// wait re-checks the token on a coarse poll (≤1ms) as a backstop, so
+  /// cancellation never needs to know which semaphore a waiter sits on
+  /// (Cancel() wakes the token's own cv, not ours).
+  bool Acquire(size_t n, const CancelToken* cancel) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return false;
+      if (permits_ >= n) {
+        permits_ -= n;
+        return true;
+      }
+      if (cancel == nullptr) {
+        cv_.wait(lock, [&] { return permits_ >= n; });
+      } else {
+        cv_.wait_for(lock, std::chrono::milliseconds(1),
+                     [&] { return permits_ >= n; });
+      }
+    }
+  }
+
   bool TryAcquire() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (permits_ == 0) return false;
     --permits_;
+    return true;
+  }
+
+  /// All-or-nothing non-blocking bulk acquire.
+  bool TryAcquire(size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (permits_ < n) return false;
+    permits_ -= n;
     return true;
   }
 
@@ -36,6 +71,19 @@ class Semaphore {
       ++permits_;
     }
     cv_.notify_one();
+  }
+
+  /// Bulk release of `n` permits in one lock round-trip, with notify_all so
+  /// every waiter (including bulk waiters needing more than one permit)
+  /// re-evaluates — returning a cancelled job's disk slots wakes the whole
+  /// admission queue at once instead of one waiter per permit.
+  void Release(size_t n) {
+    if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      permits_ += n;
+    }
+    cv_.notify_all();
   }
 
   size_t available() const {

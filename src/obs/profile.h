@@ -26,10 +26,6 @@ struct ProfileInputs {
   /// Expected per-stage emission counts, for the report.
   std::vector<uint64_t> stage_emitted;
   double wall_ms = 0.0;
-  /// True when another job ran concurrently on the same executor: the
-  /// snapshot-delta cache_* counters cross-pollute (see rede/metrics.h) and
-  /// the profiler must flag cache numbers as shared, not per-job.
-  bool overlapped_run = false;
   size_t straggler_top_k = 5;
 };
 

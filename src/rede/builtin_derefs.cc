@@ -21,10 +21,21 @@ namespace {
 /// Count one event on the run metrics, tolerating contexts without metrics
 /// (direct stage-function calls in tests).
 void Bump(const ExecContext& ctx,
-          std::atomic<uint64_t> ExecMetricsCounters::*member) {
-  if (ctx.metrics != nullptr) {
-    (ctx.metrics->*member).fetch_add(1, std::memory_order_relaxed);
+          std::atomic<uint64_t> ExecMetricsCounters::*member,
+          uint64_t n = 1) {
+  if (ctx.metrics != nullptr && n != 0) {
+    (ctx.metrics->*member).fetch_add(n, std::memory_order_relaxed);
   }
+}
+
+/// Charge a committed admission (and the evictions it displaced) to the
+/// run that performed it. Call-site counting is what makes per-job cache
+/// attribution exact under overlapped runs: the cache's global counters
+/// are the sum of these per-job charges, nothing is double-counted.
+void CountAdmission(const ExecContext& ctx,
+                    const RecordCache::AdmissionOutcome& outcome) {
+  if (outcome.admitted) Bump(ctx, &ExecMetricsCounters::cache_admissions);
+  Bump(ctx, &ExecMetricsCounters::cache_evictions, outcome.evictions);
 }
 
 /// Record one failover hop on a traced run: a known-down replica skipped
@@ -204,10 +215,12 @@ class PointDereferencer final : public Dereferencer {
         std::string ck =
             RecordCache::MakeKey(file_->name(), partition, input.pointer.key);
         if (auto hit = cache->Lookup(ck)) {
+          Bump(ctx, &ExecMetricsCounters::cache_hits);
           resolved.emplace(std::move(lk), std::move(*hit));
           if (cache->Pin(ck)) pinned.push_back(std::move(ck));
           continue;
         }
+        Bump(ctx, &ExecMetricsCounters::cache_misses);
       }
       resolved.emplace(std::move(lk), std::vector<io::Record>{});
       missing[partition].push_back(input.pointer.key);
@@ -218,7 +231,11 @@ class PointDereferencer final : public Dereferencer {
     // batch, never observe (or double-admit) a partial one.
     std::vector<std::string> admitted;
     auto unwind = [&](const Status& error) {
-      for (const std::string& ck : admitted) cache->Invalidate(ck);
+      for (const std::string& ck : admitted) {
+        if (cache->Invalidate(ck)) {
+          Bump(ctx, &ExecMetricsCounters::cache_invalidations);
+        }
+      }
       for (const std::string& ck : pinned) cache->Unpin(ck);
       return error;
     };
@@ -240,7 +257,7 @@ class PointDereferencer final : public Dereferencer {
           std::string ck =
               RecordCache::MakeKey(file_->name(), partition, keys[i]);
           if (cache->StartAdmission(ck)) {
-            cache->CommitAdmission(ck, results[i]);
+            CountAdmission(ctx, cache->CommitAdmission(ck, results[i]));
             admitted.push_back(std::move(ck));
           }
         }
@@ -285,9 +302,11 @@ class PointDereferencer final : public Dereferencer {
     }
     std::string ck = RecordCache::MakeKey(file_->name(), partition, key);
     if (auto hit = cache->Lookup(ck)) {
+      Bump(ctx, &ExecMetricsCounters::cache_hits);
       fetched->insert(fetched->end(), hit->begin(), hit->end());
       return Status::OK();
     }
+    Bump(ctx, &ExecMetricsCounters::cache_misses);
     const bool admitting = cache->StartAdmission(ck);
     std::vector<io::Record> read;
     Status status = ReadReplicated(ctx, partition, key, &read);
@@ -295,7 +314,7 @@ class PointDereferencer final : public Dereferencer {
       if (admitting) cache->AbortAdmission(ck);
       return status;
     }
-    if (admitting) cache->CommitAdmission(ck, read);
+    if (admitting) CountAdmission(ctx, cache->CommitAdmission(ck, read));
     fetched->insert(fetched->end(), read.begin(), read.end());
     return status;
   }

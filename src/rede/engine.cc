@@ -42,12 +42,13 @@ StatusOr<std::shared_ptr<io::BtreeFile>> Engine::BuildStructure(
 }
 
 StatusOr<JobResult> Engine::Execute(const Job& job, ExecutionMode mode,
-                                    const ResultSink& sink) {
+                                    const ResultSink& sink,
+                                    CancelToken* cancel) {
   switch (mode) {
     case ExecutionMode::kSmpe:
-      return smpe_executor_.Execute(job, sink);
+      return smpe_executor_.Execute(job, sink, cancel);
     case ExecutionMode::kPartitioned:
-      return partitioned_executor_.Execute(job, sink);
+      return partitioned_executor_.Execute(job, sink, cancel);
   }
   return Status::InvalidArgument("unknown execution mode");
 }

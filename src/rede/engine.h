@@ -72,12 +72,28 @@ class Engine {
   StatusOr<std::shared_ptr<io::BtreeFile>> BuildStructure(
       const index::IndexSpec& spec, const std::string& attribute);
 
-  /// Execute a job, streaming outputs into `sink` (nullable).
+  /// Execute a job, streaming outputs into `sink` (nullable). `cancel`
+  /// optionally injects an external CancelToken (see Executor::Execute).
   StatusOr<JobResult> Execute(const Job& job, ExecutionMode mode,
-                              const ResultSink& sink = nullptr);
+                              const ResultSink& sink = nullptr,
+                              CancelToken* cancel = nullptr);
 
   /// Execute and materialize output tuples.
   StatusOr<CollectedResult> ExecuteCollect(const Job& job, ExecutionMode mode);
+
+  /// The executor behind `mode` — what a sched::JobScheduler fronts when
+  /// scheduling jobs of this engine.
+  Executor& executor(ExecutionMode mode) {
+    return mode == ExecutionMode::kSmpe
+               ? static_cast<Executor&>(smpe_executor_)
+               : static_cast<Executor&>(partitioned_executor_);
+  }
+
+  /// The SMPE executor's record cache (nullptr when caching is off) — for
+  /// cross-checking per-job cache attribution against global counters.
+  RecordCache* smpe_record_cache() const {
+    return smpe_executor_.record_cache();
+  }
 
  private:
   sim::Cluster* cluster_;

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/cancel.h"
 #include "common/status_or.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -35,12 +36,17 @@ inline obs::JobProfile ProfileOf(const JobResult& result) {
   obs::ProfileInputs inputs;
   inputs.stage_invocations = result.metrics.StageInvocations();
   inputs.wall_ms = result.metrics.wall_ms;
-  inputs.overlapped_run = result.metrics.overlapped_run;
   return obs::JobProfile::Build(*result.trace, inputs);
 }
 
 /// Common interface of the two ReDe execution strategies evaluated in
 /// Fig 7: SmpeExecutor (w/ SMPE) and PartitionedExecutor (w/o SMPE).
+///
+/// Execute() is safe to call concurrently from many threads: all per-run
+/// state (metrics, trace, in-flight tracking, cancellation) lives in a
+/// per-call RunState, and cache activity is charged at its call sites to
+/// the performing run — overlapping runs share pools and the record cache
+/// but never each other's counters.
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -48,8 +54,20 @@ class Executor {
 
   /// Run the job, streaming output tuples into `sink` (may be null when
   /// only metrics are wanted). Blocking; returns when the job has drained.
-  virtual StatusOr<JobResult> Execute(const Job& job,
-                                      const ResultSink& sink) = 0;
+  ///
+  /// `cancel` optionally injects an external CancelToken (the scheduler's
+  /// per-job token): the run adopts it as its fail-fast flag, so an outside
+  /// Cancel() — deadline expiry, tenant eviction — drains the run exactly
+  /// like an internal permanent error, interrupting retry backoffs. Pass
+  /// nullptr (or use the 2-arg overload) for a self-contained run. The
+  /// token must outlive the call and be un-cancelled at entry.
+  virtual StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink,
+                                      CancelToken* cancel) = 0;
+
+  /// Convenience overload: run without an external cancellation token.
+  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) {
+    return Execute(job, sink, nullptr);
+  }
 };
 
 /// Thread-safe tuple collector for callers that want materialized results.

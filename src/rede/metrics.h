@@ -38,17 +38,16 @@ struct ExecMetricsCounters {
   /// they carried (singleton tasks are not counted as batches).
   std::atomic<uint64_t> deref_batches{0};
   std::atomic<uint64_t> deref_batched_pointers{0};
-  /// Record-cache activity attributed to this run (executors snapshot the
-  /// cache's monotonic counters around Execute and add the delta here).
-  ///
-  /// KNOWN ATTRIBUTION GAP: the cache is shared by every run of one
-  /// executor, and these deltas are taken around the whole Execute() call —
-  /// so when two jobs run concurrently on the same executor, each job's
-  /// delta includes the other job's cache activity for the overlapping
-  /// window. The totals across all runs remain exact; the per-job split is
-  /// not. MetricsSnapshot carries `job_id` and `overlapped_run` so the
-  /// profiler (obs::JobProfile) can flag cache numbers from overlapping
-  /// runs as shared rather than per-job.
+  /// Record-cache activity attributed to this run. Counted at the cache
+  /// call sites (builtin_derefs.cc) directly into the run's own counters:
+  /// every Lookup hit/miss, committed admission (with the evictions its
+  /// insert displaced, via RecordCache::AdmissionOutcome) and call-site
+  /// Invalidate is charged to the job that performed it. Per-job exact by
+  /// construction — concurrent runs on one executor share the cache but
+  /// never each other's counters, and summing these fields across all jobs
+  /// of a cache reproduces its global monotonic counters exactly (asserted
+  /// by tests/sched_test.cc). This replaced the old snapshot-the-cache-
+  /// around-Execute delta scheme, whose per-job split broke under overlap.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_admissions{0};
@@ -139,12 +138,10 @@ struct StageSnapshot {
 /// Plain copyable snapshot returned with job results.
 struct MetricsSnapshot {
   /// Process-unique id of the run that produced this snapshot (see
-  /// obs::NextJobId), so metrics, traces, and profiles correlate.
+  /// obs::NextJobId), so metrics, traces, and profiles correlate. All
+  /// counters below — including cache_* — are exact per-job values even
+  /// when runs overlap on one executor (see ExecMetricsCounters).
   uint64_t job_id = 0;
-  /// True when another Execute() overlapped this run on the same executor:
-  /// the cache_* deltas below are then shared across the overlapping jobs,
-  /// not per-job (see the attribution note on ExecMetricsCounters).
-  bool overlapped_run = false;
   uint64_t ref_invocations = 0;
   uint64_t deref_invocations = 0;
   uint64_t tuples_emitted = 0;

@@ -19,6 +19,11 @@ struct WorkerShared {
   /// Recorder of a sampled run, nullptr otherwise (same fast-path contract
   /// as the SMPE executor: untraced runs only ever pay this null check).
   obs::TraceRecorder* trace = nullptr;
+  /// Run-wide cancellation (external token or the run's own): checked
+  /// between stages and waited on during retry backoff, so cancelled runs
+  /// stop within one backoff quantum.
+  CancelToken* cancel = nullptr;
+  uint64_t job_id = 0;
   ExecMetricsCounters metrics;
   std::mutex sink_mutex;
   const ResultSink* sink;
@@ -29,6 +34,7 @@ struct WorkerShared {
 /// no intra-partition parallelism, by design.
 Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
                     const Tuple& tuple) {
+  if (shared.cancel->cancelled()) return shared.cancel->cause();
   if (stage >= shared.job->num_stages()) {
     shared.metrics.output_tuples.fetch_add(1, std::memory_order_relaxed);
     if (shared.sink != nullptr && *shared.sink) {
@@ -39,6 +45,7 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
   }
   const StageFunction& fn = *shared.job->stages()[stage];
   ExecContext ctx{node, shared.cluster, &shared.metrics, shared.cache};
+  ctx.cancel = shared.cancel;
   ctx.trace = shared.trace;
   ctx.stage = static_cast<uint32_t>(stage);
   std::vector<Tuple> outs;
@@ -84,7 +91,12 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
             span.AddAttr("backoff_us", static_cast<int64_t>(backoff_us));
             shared.trace->Record(std::move(span));
           }
-        });
+        },
+        // Backoff waits on the run's token (prompt cancellation) and is
+        // de-synchronized across jobs/nodes by the seeded jitter.
+        shared.cancel,
+        shared.job_id ^ (static_cast<uint64_t>(node) << 32) ^
+            static_cast<uint64_t>(stage));
   } else {
     shared.metrics.ref_invocations.fetch_add(1, std::memory_order_relaxed);
     work_status = fn.Execute(ctx, tuple, &outs);
@@ -120,25 +132,26 @@ Status ProcessTuple(WorkerShared& shared, sim::NodeId node, size_t stage,
 }  // namespace
 
 StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
-                                                 const ResultSink& sink) {
+                                                 const ResultSink& sink,
+                                                 CancelToken* cancel) {
   StopWatch watch;
+  CancelToken owned_cancel;
   WorkerShared shared;
   shared.job = &job;
   shared.cluster = cluster_;
   shared.retry = retry_;
   shared.cache = cache_.get();
+  shared.cancel = cancel != nullptr ? cancel : &owned_cancel;
   shared.sink = &sink;
   shared.metrics.InitStages(job.num_stages());
   const uint64_t job_id = obs::NextJobId();
+  shared.job_id = job_id;
   const uint64_t run_seq = run_seq_.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<obs::TraceRecorder> recorder;
   if (trace_sample_n_ > 0 && run_seq % trace_sample_n_ == 0) {
     recorder = std::make_unique<obs::TraceRecorder>(job_id);
     shared.trace = recorder.get();
   }
-  bool overlapped = active_runs_.fetch_add(1, std::memory_order_acq_rel) > 0;
-  RecordCacheStats cache_before;
-  if (cache_ != nullptr) cache_before = cache_->stats();
 
   const Tuple& initial = job.initial_input();
   std::vector<Status> statuses;
@@ -159,28 +172,16 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
     }
     for (auto& worker : workers) worker.join();
   }
-  // End of the overlap window: anyone still active now overlapped us.
-  if (active_runs_.fetch_sub(1, std::memory_order_acq_rel) > 1) {
-    overlapped = true;
-  }
-  if (cache_ != nullptr) {
-    RecordCacheStats after = cache_->stats();
-    shared.metrics.cache_hits.fetch_add(after.hits - cache_before.hits);
-    shared.metrics.cache_misses.fetch_add(after.misses - cache_before.misses);
-    shared.metrics.cache_admissions.fetch_add(after.admissions -
-                                              cache_before.admissions);
-    shared.metrics.cache_evictions.fetch_add(after.evictions -
-                                             cache_before.evictions);
-    shared.metrics.cache_invalidations.fetch_add(after.invalidations -
-                                                 cache_before.invalidations);
-  }
+  // Cache activity was charged per call site into shared.metrics by the
+  // dereferencers, so the counters are exact for this run even when other
+  // Execute() calls overlap on the shared cache.
+  if (shared.cancel->cancelled()) return shared.cancel->cause();
   for (const Status& status : statuses) {
     LH_RETURN_NOT_OK(status);
   }
   JobResult result;
   result.metrics = MetricsSnapshot::From(shared.metrics, watch.ElapsedMillis());
   result.metrics.job_id = job_id;
-  result.metrics.overlapped_run = overlapped;
   if (recorder != nullptr) {
     // All workers joined above, so collecting the chunks is race-free.
     auto log = std::make_shared<obs::TraceLog>();

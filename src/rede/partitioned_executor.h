@@ -40,7 +40,9 @@ class PartitionedExecutor final : public Executor {
   /// The executor's record cache, or nullptr when caching is disabled.
   RecordCache* record_cache() const { return cache_.get(); }
 
-  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
+  using Executor::Execute;
+  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink,
+                              CancelToken* cancel) override;
 
  private:
   std::string name_ = "rede-partitioned";
@@ -50,8 +52,6 @@ class PartitionedExecutor final : public Executor {
   std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
   /// Monotonic Execute() counter driving per-job trace sampling.
   std::atomic<uint64_t> run_seq_{0};
-  /// Concurrent Execute() calls, for the cache-attribution overlap flag.
-  std::atomic<int64_t> active_runs_{0};
 };
 
 }  // namespace lakeharbor::rede

@@ -63,8 +63,8 @@ bool RecordCache::StartAdmission(const std::string& key) {
   return shard.pending.insert(key).second;
 }
 
-void RecordCache::CommitAdmission(const std::string& key,
-                                  std::vector<io::Record> records) {
+RecordCache::AdmissionOutcome RecordCache::CommitAdmission(
+    const std::string& key, std::vector<io::Record> records) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   LH_CHECK_MSG(shard.pending.erase(key) == 1,
@@ -77,13 +77,13 @@ void RecordCache::CommitAdmission(const std::string& key,
   size_t entry_bytes = EntryBytes(key, records);
   if (entry_bytes > shard_budget_) {
     rejected_admissions_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return AdmissionOutcome{};
   }
   shard.lru.push_front(Entry{key, std::move(records), entry_bytes, 0});
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += entry_bytes;
   admissions_.fetch_add(1, std::memory_order_relaxed);
-  EvictIfNeeded(shard);
+  return AdmissionOutcome{true, EvictIfNeeded(shard)};
 }
 
 void RecordCache::AbortAdmission(const std::string& key) {
@@ -200,7 +200,8 @@ bool RecordCache::CheckConsistency() const {
   return true;
 }
 
-void RecordCache::EvictIfNeeded(Shard& shard) {
+uint32_t RecordCache::EvictIfNeeded(Shard& shard) {
+  uint32_t evicted = 0;
   auto it = shard.lru.end();
   while (shard.bytes > shard_budget_ && it != shard.lru.begin()) {
     --it;
@@ -209,7 +210,9 @@ void RecordCache::EvictIfNeeded(Shard& shard) {
     shard.map.erase(it->key);
     it = shard.lru.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++evicted;
   }
+  return evicted;
 }
 
 }  // namespace lakeharbor::rede

@@ -78,10 +78,20 @@ class RecordCache {
   /// Reserve `key` for admission. False if already resident or reserved.
   bool StartAdmission(const std::string& key);
 
+  /// What a CommitAdmission actually did, so the committing job can charge
+  /// the admission (and the evictions its insert triggered) to its own
+  /// metrics: per-job sums of these outcomes equal the global counters
+  /// exactly, which is what retires the old snapshot-delta attribution.
+  struct AdmissionOutcome {
+    bool admitted = false;   ///< false = rejected (oversize entry)
+    uint32_t evictions = 0;  ///< entries displaced by this insert
+  };
+
   /// Publish the result of a reserved read. Must follow a successful
   /// StartAdmission for the same key. The entry may still be rejected if it
   /// alone exceeds the shard budget (counted, not an error).
-  void CommitAdmission(const std::string& key, std::vector<io::Record> records);
+  AdmissionOutcome CommitAdmission(const std::string& key,
+                                   std::vector<io::Record> records);
 
   /// Drop a reservation without publishing (the read failed).
   void AbortAdmission(const std::string& key);
@@ -132,8 +142,9 @@ class RecordCache {
   size_t EntryBytes(const std::string& key,
                     const std::vector<io::Record>& records) const;
   /// Evict from the LRU tail (skipping pinned entries) until the shard fits
-  /// its budget. Caller holds the shard lock.
-  void EvictIfNeeded(Shard& shard);
+  /// its budget. Caller holds the shard lock. Returns how many entries were
+  /// evicted.
+  uint32_t EvictIfNeeded(Shard& shard);
 
   RecordCacheOptions options_;
   size_t shard_budget_;

@@ -54,18 +54,22 @@ struct SmpeExecutor::RunState {
   std::mutex sink_mutex;
   ResultSink sink;
 
-  /// Run-wide cooperative cancellation: the first permanent error OR the
-  /// deadline watchdog flips it (first cause wins); every task checks it
-  /// before executing, so queues drain without doing work.
-  CancelToken cancel;
+  /// Run-wide cooperative cancellation: the first permanent error, the
+  /// deadline watchdog, OR an external Cancel() on an injected token flips
+  /// it (first cause wins); every task checks it before executing, so
+  /// queues drain without doing work, and retry backoffs wait on it so
+  /// cancellation interrupts them mid-sleep. Points at `owned_cancel`
+  /// unless the caller injected a token (scheduler-managed jobs).
+  CancelToken* cancel = nullptr;
+  CancelToken owned_cancel;
   /// Hedge-race losers parked here; joined before Execute returns.
   StragglerReaper stragglers;
 
   void RecordError(const Status& status, const std::string& where) {
-    cancel.Cancel(status.WithContext(where));
+    cancel->Cancel(status.WithContext(where));
   }
 
-  bool Failed() const { return cancel.cancelled(); }
+  bool Failed() const { return cancel->cancelled(); }
 
   void Emit(const Tuple& tuple) {
     metrics.output_tuples.fetch_add(1, std::memory_order_relaxed);
@@ -118,7 +122,7 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
                       dequeue_us);
   const StageFunction& fn = *state.job->stages()[task.stage];
   ExecContext ctx{node, cluster_, &state.metrics, cache_.get()};
-  ctx.cancel = &state.cancel;
+  ctx.cancel = state.cancel;
   ctx.trace = state.trace;
   ctx.stage = static_cast<uint32_t>(task.stage);
   if (options_.deterministic_seed == 0 && options_.hedge.enabled) {
@@ -163,14 +167,24 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
       break;
     }
     ++retry;
-    const uint64_t backoff_us = options_.retry.BackoffUs(retry);
+    // Jitter (seeded by job ⊕ node ⊕ stage) keeps concurrent jobs that hit
+    // the same faulty device from retrying in lockstep; the default
+    // jitter=0 policy reproduces the exact classic ladder.
+    const uint64_t jitter_seed =
+        state.job_id ^ (static_cast<uint64_t>(node) << 32) ^
+        static_cast<uint64_t>(task.stage);
+    const uint64_t backoff_us =
+        options_.retry.JitteredBackoffUs(retry, jitter_seed);
     state.metrics.retries.fetch_add(1, std::memory_order_relaxed);
     state.metrics.retry_backoff_us.fetch_add(backoff_us,
                                              std::memory_order_relaxed);
     state.metrics.retry_backoff_hist_us.Record(backoff_us);
     if (backoff_us > 0) {
       const int64_t sleep_start_us = NowMicros();
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      // Wait on the run's CancelToken, not an unconditional sleep: a
+      // cancelled or deadline-exceeded job exits its backoff ladder within
+      // one quantum instead of draining every remaining sleep.
+      const bool interrupted = state.cancel->WaitFor(backoff_us);
       if (state.trace != nullptr) {
         obs::Span span;
         span.name = "retry-backoff";
@@ -181,8 +195,10 @@ void SmpeExecutor::RunTask(RunState& state, sim::NodeId node,
         span.t_end_us = NowMicros();
         span.AddAttr("retry", static_cast<int64_t>(retry));
         span.AddAttr("backoff_us", static_cast<int64_t>(backoff_us));
+        if (interrupted) span.AddAttr("interrupted", 1);
         state.trace->Record(std::move(span));
       }
+      if (interrupted) break;  // cancelled mid-backoff: drop the task now
     }
   }
   if (state.trace != nullptr) {
@@ -409,7 +425,7 @@ void SmpeExecutor::RunDeterministic(RunState& state) const {
     // the remaining tasks drain through RunTask's fail-fast path.
     if (options_.deadline_ms > 0 && !state.Failed() &&
         watch.ElapsedMillis() >= static_cast<double>(options_.deadline_ms)) {
-      state.cancel.Cancel(Status::DeadlineExceeded(
+      state.cancel->Cancel(Status::DeadlineExceeded(
           "job '" + state.job->name() + "' exceeded deadline of " +
           std::to_string(options_.deadline_ms) + "ms"));
     }
@@ -428,12 +444,14 @@ void SmpeExecutor::RunDeterministic(RunState& state) const {
 }
 
 StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
-                                          const ResultSink& sink) {
+                                          const ResultSink& sink,
+                                          CancelToken* cancel) {
   StopWatch watch;
   RunState state;
   state.job = &job;
   state.job_id = obs::NextJobId();
   state.sink = sink;
+  state.cancel = cancel != nullptr ? cancel : &state.owned_cancel;
   state.metrics.InitStages(job.num_stages());
   // Per-JOB sampling: either the whole run is traced (so profiles reconcile
   // exactly against the run's counters) or no recorder exists at all and
@@ -444,19 +462,11 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
     recorder = std::make_unique<obs::TraceRecorder>(state.job_id);
     state.trace = recorder.get();
   }
-  // Overlap detection for the cache-attribution gap (see rede/metrics.h):
-  // if any other Execute() is active at entry or entered before we finish,
-  // this run's cache deltas are shared, not per-job.
-  bool overlapped = active_runs_.fetch_add(1, std::memory_order_acq_rel) > 0;
   const uint32_t num_nodes = cluster_->num_nodes();
   state.queues.reserve(num_nodes);
   for (uint32_t n = 0; n < num_nodes; ++n) {
     state.queues.push_back(std::make_unique<MpmcQueue<Task>>());
   }
-  // The cache is shared across runs; attribute only this run's activity to
-  // this run's metrics.
-  RecordCacheStats cache_before;
-  if (cache_ != nullptr) cache_before = cache_->stats();
 
   if (options_.deterministic_seed != 0) {
     SeedInitial(state);
@@ -501,7 +511,7 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
             lock, std::chrono::milliseconds(options_.deadline_ms),
             [&] { return run_done; });
         if (!completed) {
-          state.cancel.Cancel(Status::DeadlineExceeded(
+          state.cancel->Cancel(Status::DeadlineExceeded(
               "job '" + job.name() + "' exceeded deadline of " +
               std::to_string(options_.deadline_ms) + "ms"));
         }
@@ -523,28 +533,14 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
   // Hedge-race losers may still be inside the simulated device stack; they
   // must finish before this run's state is torn down. Zero leaked tasks.
   state.stragglers.JoinAll();
-  // End of the overlap window: anyone still active now overlapped us.
-  if (active_runs_.fetch_sub(1, std::memory_order_acq_rel) > 1) {
-    overlapped = true;
-  }
+  // Cache activity was charged per call site into state.metrics by the
+  // dereferencers (builtin_derefs.cc), so the counters are exact for THIS
+  // run even with other Execute() calls overlapping on the shared cache.
 
-  if (cache_ != nullptr) {
-    RecordCacheStats after = cache_->stats();
-    state.metrics.cache_hits.fetch_add(after.hits - cache_before.hits);
-    state.metrics.cache_misses.fetch_add(after.misses - cache_before.misses);
-    state.metrics.cache_admissions.fetch_add(after.admissions -
-                                             cache_before.admissions);
-    state.metrics.cache_evictions.fetch_add(after.evictions -
-                                            cache_before.evictions);
-    state.metrics.cache_invalidations.fetch_add(after.invalidations -
-                                                cache_before.invalidations);
-  }
-
-  if (state.cancel.cancelled()) return state.cancel.cause();
+  if (state.cancel->cancelled()) return state.cancel->cause();
   JobResult result;
   result.metrics = MetricsSnapshot::From(state.metrics, watch.ElapsedMillis());
   result.metrics.job_id = state.job_id;
-  result.metrics.overlapped_run = overlapped;
   if (recorder != nullptr) {
     auto log = std::make_shared<obs::TraceLog>();
     log->job_id = state.job_id;

@@ -111,7 +111,9 @@ class SmpeExecutor final : public Executor {
   const std::string& name() const override { return name_; }
   const SmpeOptions& options() const { return options_; }
 
-  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink) override;
+  using Executor::Execute;
+  StatusOr<JobResult> Execute(const Job& job, const ResultSink& sink,
+                              CancelToken* cancel) override;
 
   /// The executor's record cache, or nullptr when caching is disabled.
   RecordCache* record_cache() const { return cache_.get(); }
@@ -147,8 +149,6 @@ class SmpeExecutor final : public Executor {
   std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
   /// Monotonic Execute() counter driving per-job trace sampling.
   std::atomic<uint64_t> run_seq_{0};
-  /// Concurrent Execute() calls, for the cache-attribution overlap flag.
-  std::atomic<int64_t> active_runs_{0};
 };
 
 }  // namespace lakeharbor::rede

@@ -28,7 +28,7 @@ struct ExecContext {
   RecordCache* record_cache = nullptr;
   /// Hedged-read knobs; hedging is off unless the executor enables it
   /// (threaded SMPE mode only) AND supplies a straggler reaper.
-  HedgeOptions hedge;
+  HedgeOptions hedge{};
   StragglerReaper* stragglers = nullptr;
   /// Run-wide cancellation token, or nullptr when the executor does not
   /// support cooperative cancellation. Long-running stage functions should

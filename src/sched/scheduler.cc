@@ -1,0 +1,341 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace lakeharbor::sched {
+
+const char* JobClassToString(JobClass job_class) {
+  switch (job_class) {
+    case JobClass::kPointLookup:
+      return "point-lookup";
+    case JobClass::kAnalyticalScan:
+      return "analytical-scan";
+  }
+  return "unknown";
+}
+
+JobScheduler::JobScheduler(rede::Executor* executor, SchedulerOptions options)
+    : executor_(executor), options_(options) {
+  LH_CHECK(executor_ != nullptr);
+  LH_CHECK_MSG(options_.execution_slots > 0,
+               "scheduler needs at least one execution slot");
+  if (options_.io_tokens > 0) {
+    io_tokens_ = std::make_unique<Semaphore>(options_.io_tokens);
+  }
+  workers_.reserve(options_.execution_slots);
+  for (size_t i = 0; i < options_.execution_slots; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+JobScheduler::~JobScheduler() { Shutdown(); }
+
+size_t JobScheduler::IoTokensFor(JobClass job_class) const {
+  size_t tokens = job_class == JobClass::kPointLookup
+                      ? options_.point_lookup_io_tokens
+                      : options_.analytical_scan_io_tokens;
+  if (tokens == 0) tokens = 1;
+  // A cost above the whole pool could never be satisfied; clamp instead of
+  // deadlocking the class.
+  if (options_.io_tokens > 0) tokens = std::min(tokens, options_.io_tokens);
+  return tokens;
+}
+
+double JobScheduler::WeightFor(JobClass job_class) const {
+  double weight = job_class == JobClass::kPointLookup
+                      ? options_.point_lookup_weight
+                      : options_.analytical_scan_weight;
+  return weight > 0.0 ? weight : 1.0;
+}
+
+StatusOr<JobHandlePtr> JobScheduler::Submit(const rede::Job& job,
+                                            JobSpec spec) {
+  auto handle = std::make_shared<JobHandle>(spec.tenant, spec.job_class);
+  const int64_t submit_us = NowMicros();
+  const uint64_t deadline_ms =
+      spec.deadline_ms > 0 ? spec.deadline_ms : options_.default_deadline_ms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Aborted("scheduler is shut down");
+    }
+    if (options_.max_queue_depth > 0 &&
+        queued_jobs_ >= options_.max_queue_depth) {
+      // Admission control: shed load at the door with a retryable status
+      // (kResourceExhausted) instead of queueing without bound.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "scheduler queue full (" + std::to_string(queued_jobs_) + "/" +
+          std::to_string(options_.max_queue_depth) + " jobs queued)");
+    }
+    QueuedJob queued;
+    queued.handle = handle;
+    queued.job = &job;
+    queued.sink = std::move(spec.sink);
+    queued.seq = next_seq_++;
+    queued.submit_us = submit_us;
+    // Start-time fair queueing tags: a flow re-arriving after idling starts
+    // at the current virtual time (no credit for sleeping); a backlogged
+    // flow chains behind its own last finish tag. The finish tag advances
+    // by cost/weight, so heavier classes move through virtual time faster
+    // and get dispatched less often per unit weight.
+    Flow& flow = flows_[{spec.tenant, static_cast<int>(spec.job_class)}];
+    const double cost = static_cast<double>(IoTokensFor(spec.job_class));
+    queued.start_tag = std::max(virtual_time_, flow.last_finish_tag);
+    queued.finish_tag = queued.start_tag + cost / WeightFor(spec.job_class);
+    flow.last_finish_tag = queued.finish_tag;
+    flow.jobs.push_back(std::move(queued));
+    ++queued_jobs_;
+    if (deadline_ms > 0) {
+      deadlines_.push(DeadlineEntry{
+          submit_us + static_cast<int64_t>(deadline_ms) * 1000, handle});
+      timer_cv_.notify_all();
+    }
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+  return handle;
+}
+
+StatusOr<rede::JobResult> JobScheduler::Run(const rede::Job& job,
+                                            JobSpec spec) {
+  LH_ASSIGN_OR_RETURN(JobHandlePtr handle, Submit(job, std::move(spec)));
+  return handle->Wait();
+}
+
+std::optional<JobScheduler::QueuedJob> JobScheduler::PickNextLocked() {
+  // Fair mode: the head with the minimum virtual start tag (ties broken by
+  // submission order, for determinism). FIFO mode: the globally oldest job
+  // — each flow is seq-ordered, so the min over flow heads is the min
+  // overall.
+  auto best = flows_.end();
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (it->second.jobs.empty()) continue;
+    if (best == flows_.end()) {
+      best = it;
+      continue;
+    }
+    const QueuedJob& candidate = it->second.jobs.front();
+    const QueuedJob& incumbent = best->second.jobs.front();
+    if (options_.fair) {
+      if (candidate.start_tag < incumbent.start_tag ||
+          (candidate.start_tag == incumbent.start_tag &&
+           candidate.seq < incumbent.seq)) {
+        best = it;
+      }
+    } else if (candidate.seq < incumbent.seq) {
+      best = it;
+    }
+  }
+  if (best == flows_.end()) return std::nullopt;
+  QueuedJob next = std::move(best->second.jobs.front());
+  best->second.jobs.pop_front();
+  --queued_jobs_;
+  if (options_.fair) virtual_time_ = std::max(virtual_time_, next.start_tag);
+  return next;
+}
+
+void JobScheduler::FinishJob(QueuedJob& next, Status error,
+                             rede::JobResult result, int64_t dispatch_us,
+                             bool executed) {
+  const int64_t now_us = NowMicros();
+  const uint64_t queue_wait_us =
+      dispatch_us > next.submit_us
+          ? static_cast<uint64_t>(dispatch_us - next.submit_us)
+          : 0;
+  const uint64_t total_us = now_us > next.submit_us
+                                ? static_cast<uint64_t>(now_us - next.submit_us)
+                                : 0;
+  PerClassHist& hist =
+      per_class_[static_cast<size_t>(next.handle->job_class())];
+  hist.queue_wait_us.Record(queue_wait_us);
+  hist.total_us.Record(total_us);
+  if (executed && now_us > dispatch_us) {
+    hist.exec_us.Record(static_cast<uint64_t>(now_us - dispatch_us));
+  }
+  if (error.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (next.handle->cancel_token().cancelled()) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  next.handle->Finish(std::move(error), std::move(result), queue_wait_us,
+                      total_us);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_jobs_;
+  }
+  work_cv_.notify_all();
+}
+
+void JobScheduler::WorkerLoop() {
+  for (;;) {
+    std::optional<QueuedJob> next;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutting_down_ || queued_jobs_ > 0; });
+      if (queued_jobs_ == 0) {
+        if (shutting_down_) return;
+        continue;
+      }
+      next = PickNextLocked();
+      if (!next.has_value()) continue;
+      ++running_jobs_;
+    }
+    const int64_t dispatch_us = NowMicros();
+    CancelToken& cancel = next->handle->cancel_token();
+    // A job cancelled while queued (user Cancel; the deadline timer already
+    // removes ITS victims from the queue) completes here without touching
+    // the executor.
+    if (cancel.cancelled()) {
+      FinishJob(*next, cancel.cause(), rede::JobResult{}, dispatch_us,
+                /*executed=*/false);
+      continue;
+    }
+    // Disk-slot gate: hold the class's token cost for the whole run. The
+    // wait is cancellable, so deadline expiry or Cancel() while waiting
+    // for tokens releases this slot promptly.
+    size_t tokens = 0;
+    if (io_tokens_ != nullptr) {
+      tokens = IoTokensFor(next->handle->job_class());
+      if (!io_tokens_->Acquire(tokens, &cancel)) {
+        FinishJob(*next, cancel.cause(), rede::JobResult{}, dispatch_us,
+                  /*executed=*/false);
+        continue;
+      }
+    }
+    StatusOr<rede::JobResult> result =
+        executor_->Execute(*next->job, next->sink, &cancel);
+    if (io_tokens_ != nullptr) io_tokens_->Release(tokens);
+    if (result.ok()) {
+      FinishJob(*next, Status::OK(), std::move(result).value(), dispatch_us,
+                /*executed=*/true);
+    } else {
+      FinishJob(*next, result.status(), rede::JobResult{}, dispatch_us,
+                /*executed=*/true);
+    }
+  }
+}
+
+void JobScheduler::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutting_down_) return;
+    if (deadlines_.empty()) {
+      timer_cv_.wait(lock,
+                     [&] { return shutting_down_ || !deadlines_.empty(); });
+      continue;
+    }
+    DeadlineEntry top = deadlines_.top();
+    JobHandlePtr handle = top.handle.lock();
+    if (handle == nullptr || handle->done()) {
+      deadlines_.pop();  // completed (or abandoned) before its deadline
+      continue;
+    }
+    const int64_t now_us = NowMicros();
+    if (top.expiry_us > now_us) {
+      timer_cv_.wait_for(lock,
+                         std::chrono::microseconds(top.expiry_us - now_us));
+      continue;
+    }
+    deadlines_.pop();
+    Status cause = Status::DeadlineExceeded(
+        "job for tenant '" + handle->tenant() + "' (" +
+        JobClassToString(handle->job_class()) + ") exceeded its deadline");
+    handle->Cancel(cause);
+    // Still queued? Pull it out now so it completes within the quantum
+    // instead of waiting for a free slot to notice the flipped token.
+    for (auto& [key, flow] : flows_) {
+      auto it = std::find_if(
+          flow.jobs.begin(), flow.jobs.end(),
+          [&](const QueuedJob& q) { return q.handle == handle; });
+      if (it == flow.jobs.end()) continue;
+      QueuedJob victim = std::move(*it);
+      flow.jobs.erase(it);
+      --queued_jobs_;
+      lock.unlock();
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t waited_us =
+          now_us > victim.submit_us
+              ? static_cast<uint64_t>(now_us - victim.submit_us)
+              : 0;
+      PerClassHist& hist =
+          per_class_[static_cast<size_t>(victim.handle->job_class())];
+      hist.queue_wait_us.Record(waited_us);
+      hist.total_us.Record(waited_us);
+      victim.handle->Finish(cause, rede::JobResult{}, waited_us, waited_us);
+      lock.lock();
+      break;
+    }
+    // Running jobs drain through the executor's fail-fast path: the flipped
+    // token interrupts any retry backoff and queued tasks drop unexecuted.
+  }
+}
+
+void JobScheduler::Shutdown() {
+  std::vector<QueuedJob> orphans;
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    for (auto& [key, flow] : flows_) {
+      for (QueuedJob& queued : flow.jobs) orphans.push_back(std::move(queued));
+      flow.jobs.clear();
+    }
+    queued_jobs_ = 0;
+    to_join.swap(workers_);
+    if (timer_.joinable()) to_join.push_back(std::move(timer_));
+  }
+  work_cv_.notify_all();
+  timer_cv_.notify_all();
+  const int64_t now_us = NowMicros();
+  for (QueuedJob& queued : orphans) {
+    Status cause = Status::Aborted("scheduler shut down with job queued");
+    queued.handle->Cancel(cause);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t waited_us =
+        now_us > queued.submit_us
+            ? static_cast<uint64_t>(now_us - queued.submit_us)
+            : 0;
+    queued.handle->Finish(cause, rede::JobResult{}, waited_us, waited_us);
+  }
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+SchedulerStats JobScheduler::stats() const {
+  SchedulerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  for (size_t c = 0; c < kNumJobClasses; ++c) {
+    s.per_class[c].queue_wait_us = per_class_[c].queue_wait_us.Snapshot();
+    s.per_class[c].exec_us = per_class_[c].exec_us.Snapshot();
+    s.per_class[c].total_us = per_class_[c].total_us.Snapshot();
+  }
+  return s;
+}
+
+size_t JobScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_jobs_;
+}
+
+size_t JobScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_jobs_;
+}
+
+}  // namespace lakeharbor::sched

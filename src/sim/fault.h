@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -48,16 +48,19 @@ class FaultInjector {
   /// Install new knobs and rewind the operation stream to index 0, so a
   /// fixed seed deterministically replays its fault pattern.
   ///
-  /// The knobs are published as ONE atomically-swapped immutable snapshot:
-  /// an Assess racing a Configure sees either the old knob set or the new
-  /// one in full, never a torn half-old/half-new mix (e.g. the new
-  /// fault_rate with the old unavailable_fraction). The operation counter
-  /// is reset independently — a concurrent Assess may draw an old stream
-  /// index against the new knobs, which only shifts WHICH deterministic
-  /// fate it draws, never mixes knob values.
+  /// The knobs are published as ONE snapshot behind a tiny mutex (the
+  /// critical section is a 40-byte struct copy): an Assess racing a
+  /// Configure sees either the old knob set or the new one in full, never
+  /// a torn half-old/half-new mix (e.g. the new fault_rate with the old
+  /// unavailable_fraction). The operation counter is reset independently —
+  /// a concurrent Assess may draw an old stream index against the new
+  /// knobs, which only shifts WHICH deterministic fate it draws, never
+  /// mixes knob values.
   void Configure(const FaultOptions& options) {
-    knobs_.store(std::make_shared<const FaultOptions>(options),
-                 std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(knobs_mutex_);
+      knobs_ = options;
+    }
     ops_.store(0, std::memory_order_relaxed);
   }
 
@@ -86,25 +89,28 @@ class FaultInjector {
                                             " outage: node is down");
       return decision;
     }
-    const std::shared_ptr<const FaultOptions> knobs =
-        knobs_.load(std::memory_order_acquire);
-    if (!knobs || !knobs->enabled()) return decision;
+    FaultOptions knobs;
+    {
+      std::lock_guard<std::mutex> lock(knobs_mutex_);
+      knobs = knobs_;
+    }
+    if (!knobs.enabled()) return decision;
 
     const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t seed = knobs->seed;
-    if (knobs->fault_rate > 0.0 &&
-        U01(Mix(seed, op, kFaultSalt)) < knobs->fault_rate) {
+    const uint64_t seed = knobs.seed;
+    if (knobs.fault_rate > 0.0 &&
+        U01(Mix(seed, op, kFaultSalt)) < knobs.fault_rate) {
       const bool unavailable =
-          U01(Mix(seed, op, kKindSalt)) < knobs->unavailable_fraction;
+          U01(Mix(seed, op, kKindSalt)) < knobs.unavailable_fraction;
       std::string msg = std::string("injected transient ") + device +
                         " fault (op " + std::to_string(op) + ")";
       decision.status = unavailable ? Status::Unavailable(std::move(msg))
                                     : Status::IOError(std::move(msg));
       return decision;
     }
-    if (knobs->latency_spike_rate > 0.0 &&
-        U01(Mix(seed, op, kSpikeSalt)) < knobs->latency_spike_rate) {
-      decision.latency_scale = knobs->latency_spike_multiplier;
+    if (knobs.latency_spike_rate > 0.0 &&
+        U01(Mix(seed, op, kSpikeSalt)) < knobs.latency_spike_rate) {
+      decision.latency_scale = knobs.latency_spike_multiplier;
     }
     return decision;
   }
@@ -128,9 +134,10 @@ class FaultInjector {
     return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
   }
 
-  /// Immutable knob snapshot; null means "never configured" (= inject
-  /// nothing). Swapped wholesale by Configure, read once per Assess.
-  std::atomic<std::shared_ptr<const FaultOptions>> knobs_{nullptr};
+  /// Knob snapshot; all-zero default (= never configured) injects
+  /// nothing. Swapped wholesale by Configure, copied once per Assess.
+  std::mutex knobs_mutex_;
+  FaultOptions knobs_;
   std::atomic<bool> outage_{false};
   std::atomic<uint64_t> ops_{0};
 };

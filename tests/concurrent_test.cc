@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "concurrent/inflight_tracker.h"
 #include "concurrent/mpmc_queue.h"
 #include "concurrent/semaphore.h"
@@ -130,6 +132,62 @@ TEST(Semaphore, EnforcesMaxParallelismUnderLoad) {
   for (auto& t : threads) t.join();
   EXPECT_LE(peak.load(), 3);
   EXPECT_GE(peak.load(), 2);  // with 16 threads we should saturate
+}
+
+TEST(Semaphore, BulkAcquireIsAllOrNothing) {
+  Semaphore sem(3);
+  EXPECT_FALSE(sem.TryAcquire(4));  // more than the pool ever holds
+  EXPECT_TRUE(sem.TryAcquire(3));
+  EXPECT_FALSE(sem.TryAcquire(1));
+  sem.Release(2);
+  EXPECT_EQ(sem.available(), 2u);
+  EXPECT_FALSE(sem.TryAcquire(3));
+  EXPECT_EQ(sem.available(), 2u);  // failed bulk try took nothing
+  EXPECT_TRUE(sem.TryAcquire(2));
+  sem.Release(3);
+  EXPECT_EQ(sem.available(), 3u);
+}
+
+TEST(Semaphore, BulkReleaseWakesMultipleWaiters) {
+  Semaphore sem(0);
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      sem.Acquire();
+      acquired.fetch_add(1);
+    });
+  }
+  // One bulk Release(3) must satisfy all three blocked waiters (notify_all,
+  // not a single notify per permit batch).
+  sem.Release(3);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(acquired.load(), 3);
+  EXPECT_EQ(sem.available(), 0u);
+}
+
+TEST(Semaphore, CancellableAcquireReturnsFalseOnCancel) {
+  Semaphore sem(1);
+  CancelToken token;
+  // Not enough permits for a bulk acquire of 2: the wait must end when the
+  // token flips, leaving the pool untouched.
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel(Status::Aborted("deadline"));
+  });
+  EXPECT_FALSE(sem.Acquire(2, &token));
+  canceller.join();
+  EXPECT_EQ(sem.available(), 1u);
+
+  // A fresh (un-cancelled) token acquires normally.
+  CancelToken fresh;
+  EXPECT_TRUE(sem.Acquire(1, &fresh));
+  EXPECT_EQ(sem.available(), 0u);
+  sem.Release();
+
+  // An already-cancelled token fails even when permits are available.
+  EXPECT_FALSE(sem.Acquire(1, &token));
+  EXPECT_EQ(sem.available(), 1u);
 }
 
 TEST(InflightTracker, AwaitZeroReturnsImmediatelyWhenIdle) {

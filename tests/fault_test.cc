@@ -49,6 +49,41 @@ TEST(RetryPolicyTest, BackoffGrowsExponentiallyUpToCap) {
   EXPECT_TRUE(policy.enabled());
 }
 
+TEST(RetryPolicyTest, SeededJitterDesynchronizesRetryStorms) {
+  RetryPolicy policy;
+  policy.backoff_initial_us = 100'000;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_us = 800'000;
+  policy.jitter = 0.5;
+
+  // Deterministic: the same (seed, retry) always yields the same backoff —
+  // replayable schedules stay replayable.
+  for (size_t retry = 1; retry <= 4; ++retry) {
+    EXPECT_EQ(policy.JitteredBackoffUs(retry, 77),
+              policy.JitteredBackoffUs(retry, 77));
+  }
+
+  // Bounded: jitter only shortens, never stretches past the classic ladder
+  // and never collapses to zero.
+  const uint64_t base = policy.BackoffUs(2);
+  std::set<uint64_t> distinct;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    const uint64_t jittered = policy.JitteredBackoffUs(2, seed);
+    EXPECT_LE(jittered, base);
+    EXPECT_GE(jittered, base / 2);  // factor in (1 - jitter, 1]
+    distinct.insert(jittered);
+  }
+  // De-synchronization: 32 workers that fail together (distinct per-task
+  // seeds) spread over many distinct backoffs instead of retrying in
+  // lockstep against the same recovering disk.
+  EXPECT_GT(distinct.size(), 16u);
+
+  // jitter == 0 (the default) preserves the exact deterministic ladder.
+  RetryPolicy plain;
+  plain.backoff_initial_us = 100;
+  EXPECT_EQ(plain.JitteredBackoffUs(3, 99), plain.BackoffUs(3));
+}
+
 TEST(RunWithRetryTest, RetriesTransientFailuresUntilSuccess) {
   RetryPolicy policy;
   policy.max_retries = 5;

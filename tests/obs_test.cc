@@ -288,7 +288,6 @@ TEST_F(TracedEngineTest, SmpeTraceReconcilesWithCounters) {
   ASSERT_NE(result->trace, nullptr);
   EXPECT_EQ(result->trace->job_id, result->metrics.job_id);
   EXPECT_EQ(result->trace->job_name, "dept-join");
-  EXPECT_FALSE(result->metrics.overlapped_run);
 
   // Spans are sorted, well-formed, and attributed to real stages/nodes.
   const TraceLog& trace = *result->trace;
@@ -503,12 +502,6 @@ TEST(JobProfile, BuildsBreakdownAndCatchesMismatch) {
   JobProfile bad = JobProfile::Build(trace, wrong);
   EXPECT_FALSE(bad.Reconciles());
   ASSERT_FALSE(bad.warnings().empty());
-
-  // An overlapped run is flagged for the cache-attribution gap.
-  ProfileInputs overlapped = inputs;
-  overlapped.overlapped_run = true;
-  JobProfile shared = JobProfile::Build(trace, overlapped);
-  EXPECT_FALSE(shared.Reconciles());
 }
 
 }  // namespace

@@ -248,7 +248,9 @@ TEST(CoalesceByPartitionTest, BoundaryCases) {
   size_t total = 0;
   uint32_t prev = 0;
   for (size_t i = 0; i < batches.size(); ++i) {
-    if (i > 0) EXPECT_GT(batches[i].partition, prev);
+    if (i > 0) {
+      EXPECT_GT(batches[i].partition, prev);
+    }
     prev = batches[i].partition;
     partitions.insert(batches[i].partition);
     total += batches[i].tuples.size();

@@ -1,0 +1,595 @@
+// Multi-tenant JobScheduler tests: the per-job isolation contract under
+// overlap (every profile reconciles exactly, per-job cache attribution sums
+// to the shared cache's global counters), weighted-fair vs FIFO dispatch
+// order, admission control, deadlines, and cancellation latency. The
+// overlap suite is the regression test for the accounting bug this layer
+// fixed — it runs a real mixed Q5'/claims/point-lookup traffic sample
+// through one SMPE executor with the record cache enabled.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "claims/generator.h"
+#include "claims/loader.h"
+#include "claims/queries.h"
+#include "common/clock.h"
+#include "common/retry.h"
+#include "io/key_codec.h"
+#include "io/partitioned_file.h"
+#include "io/partitioner.h"
+#include "rede/builtin_derefs.h"
+#include "rede/engine.h"
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/q5.h"
+
+namespace lakeharbor::sched {
+namespace {
+
+// ------------------------------------------------ overlapped-run isolation
+
+/// Thread-safe per-job tuple collector (one per submitted job: sinks may be
+/// driven by many executor threads).
+struct Collector {
+  std::mutex mu;
+  std::vector<rede::Tuple> tuples;
+
+  rede::ResultSink Sink() {
+    return [this](const rede::Tuple& tuple) {
+      std::lock_guard<std::mutex> lock(mu);
+      tuples.push_back(tuple);
+    };
+  }
+};
+
+TEST(SchedulerOverlap, MixedTenantsReconcileExactlyAndCacheAttributionSums) {
+  sim::Cluster cluster(sim::ClusterOptions::ForNodes(4));
+  rede::EngineOptions options;
+  options.smpe.trace_sample_n = 1;  // trace every run
+  options.smpe.cache.enabled = true;
+  // Small budget so overlapped jobs evict each other's entries — eviction
+  // attribution must still sum exactly.
+  options.smpe.cache.byte_budget = 256 * 1024;
+  rede::Engine engine(&cluster, options);
+
+  tpch::TpchConfig tpch_config;
+  tpch_config.scale_factor = 0.002;
+  tpch_config.seed = 42;
+  tpch::TpchData tpch_data = tpch::Generate(tpch_config);
+  ASSERT_TRUE(tpch::LoadIntoLake(engine, tpch_data).ok());
+
+  claims::ClaimsConfig claims_config;
+  claims_config.num_claims = 1200;
+  claims_config.seed = 7;
+  claims::ClaimsData claims_data = claims::GenerateClaims(claims_config);
+  ASSERT_TRUE(claims::LoadRawClaims(engine, claims_data).ok());
+
+  // Baseline answers computed sequentially against in-memory oracles.
+  tpch::Q5Params q5_params = tpch::MakeQ5Params(0.3);
+  auto q5_oracle = tpch::Q5Oracle(tpch_data, q5_params);
+  ASSERT_TRUE(q5_oracle.ok());
+  auto q5_job = tpch::BuildQ5RedeJob(engine, q5_params);
+  ASSERT_TRUE(q5_job.ok());
+
+  const std::vector<claims::ClaimsQuery> queries = claims::AllQueries();
+  std::vector<claims::ClaimsAnswer> claims_oracles;
+  std::vector<rede::Job> claims_jobs;
+  claims_jobs.reserve(queries.size());
+  for (const claims::ClaimsQuery& query : queries) {
+    claims_oracles.push_back(claims::ClaimsOracle(claims_data, query));
+    auto job = claims::BuildRawClaimsJob(engine, query);
+    ASSERT_TRUE(job.ok());
+    claims_jobs.push_back(*std::move(job));
+  }
+
+  // Primary-key lookups against the raw claims file (point-lookup class).
+  auto claims_file = engine.catalog().Get(claims::names::kRawClaims);
+  ASSERT_TRUE(claims_file.ok());
+  std::vector<rede::Job> lookup_jobs;
+  constexpr int kLookups = 4;
+  lookup_jobs.reserve(kLookups);
+  for (int i = 0; i < kLookups; ++i) {
+    const int64_t claim_id = 1 + i;  // claim ids are 1-based
+    auto job =
+        rede::JobBuilder("pk-" + std::to_string(claim_id))
+            .Initial(rede::Tuple::Point(
+                io::Pointer::Keyed(io::EncodeInt64Key(claim_id))))
+            .Add(rede::MakePointDereferencer("pk-deref", *claims_file))
+            .Build();
+    ASSERT_TRUE(job.ok());
+    lookup_jobs.push_back(*std::move(job));
+  }
+
+  SchedulerOptions sched_options;
+  sched_options.execution_slots = 4;  // 4 concurrent runs on one executor
+  sched_options.fair = true;
+  sched_options.io_tokens = 8;
+  JobScheduler scheduler(&engine.executor(rede::ExecutionMode::kSmpe),
+                         sched_options);
+
+  // 8+ overlapping jobs across 3 tenants: Q5', every claims query (twice),
+  // and point lookups, interleaved so tenants contend for the shared cache.
+  struct Submission {
+    const rede::Job* job;
+    JobClass job_class;
+    std::string tenant;
+    enum class Kind { kQ5, kClaims, kLookup } kind;
+    size_t oracle_index = 0;
+  };
+  std::vector<Submission> submissions;
+  const std::string tenants[3] = {"alice", "bob", "carol"};
+  for (int round = 0; round < 2; ++round) {
+    submissions.push_back({&*q5_job, JobClass::kAnalyticalScan,
+                           tenants[round % 3], Submission::Kind::kQ5, 0});
+    for (size_t q = 0; q < claims_jobs.size(); ++q) {
+      submissions.push_back({&claims_jobs[q], JobClass::kAnalyticalScan,
+                             tenants[(round + q + 1) % 3],
+                             Submission::Kind::kClaims, q});
+    }
+  }
+  for (int i = 0; i < kLookups; ++i) {
+    submissions.push_back({&lookup_jobs[i], JobClass::kPointLookup,
+                           tenants[i % 3], Submission::Kind::kLookup,
+                           static_cast<size_t>(i)});
+  }
+  ASSERT_GE(submissions.size(), 8u);
+
+  std::vector<std::unique_ptr<Collector>> collectors;
+  std::vector<JobHandlePtr> handles;
+  for (const Submission& submission : submissions) {
+    collectors.push_back(std::make_unique<Collector>());
+    JobSpec spec;
+    spec.tenant = submission.tenant;
+    spec.job_class = submission.job_class;
+    spec.sink = collectors.back()->Sink();
+    auto handle = scheduler.Submit(*submission.job, std::move(spec));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+
+  uint64_t sum_hits = 0, sum_misses = 0, sum_admissions = 0;
+  uint64_t sum_evictions = 0, sum_invalidations = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto result = handles[i]->Wait();
+    ASSERT_TRUE(result.ok()) << "job " << i << ": "
+                             << result.status().ToString();
+
+    // Checksums: every overlapped run returns exactly the sequential answer.
+    const Submission& submission = submissions[i];
+    switch (submission.kind) {
+      case Submission::Kind::kQ5: {
+        auto summary = tpch::SummarizeRedeOutput(collectors[i]->tuples);
+        ASSERT_TRUE(summary.ok());
+        EXPECT_EQ(*summary, *q5_oracle) << "job " << i;
+        break;
+      }
+      case Submission::Kind::kClaims: {
+        auto answer = claims::SummarizeRawOutput(collectors[i]->tuples);
+        ASSERT_TRUE(answer.ok());
+        EXPECT_EQ(*answer, claims_oracles[submission.oracle_index])
+            << "job " << i << " (" << queries[submission.oracle_index].name
+            << ")";
+        break;
+      }
+      case Submission::Kind::kLookup:
+        EXPECT_EQ(collectors[i]->tuples.size(), 1u) << "job " << i;
+        break;
+    }
+
+    // The bugfix contract: every overlapped job's profile reconciles
+    // exactly — no overlapped_run escape hatch, no warnings.
+    ASSERT_NE(result->trace, nullptr) << "job " << i;
+    obs::JobProfile profile = rede::ProfileOf(*result);
+    EXPECT_TRUE(profile.Reconciles())
+        << "job " << i << ": "
+        << (profile.warnings().empty() ? "" : profile.warnings()[0]);
+
+    sum_hits += result->metrics.cache_hits;
+    sum_misses += result->metrics.cache_misses;
+    sum_admissions += result->metrics.cache_admissions;
+    sum_evictions += result->metrics.cache_evictions;
+    sum_invalidations += result->metrics.cache_invalidations;
+  }
+
+  // Per-job cache attribution sums EXACTLY to the shared cache's global
+  // counters: every hit/miss/admission/eviction/invalidation was charged to
+  // precisely one job.
+  rede::RecordCache* cache = engine.smpe_record_cache();
+  ASSERT_NE(cache, nullptr);
+  const rede::RecordCacheStats cache_stats = cache->stats();
+  EXPECT_EQ(sum_hits, cache_stats.hits);
+  EXPECT_EQ(sum_misses, cache_stats.misses);
+  EXPECT_EQ(sum_admissions, cache_stats.admissions);
+  EXPECT_EQ(sum_evictions, cache_stats.evictions);
+  EXPECT_EQ(sum_invalidations, cache_stats.invalidations);
+  // Zero leaked in-flight admission reservations after quiescence.
+  EXPECT_EQ(cache->inflight(), 0u);
+  // The mix actually exercised the cache.
+  EXPECT_GT(cache_stats.hits + cache_stats.misses, 0u);
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, submissions.size());
+  EXPECT_EQ(stats.completed, submissions.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(
+      stats.per_class[static_cast<size_t>(JobClass::kPointLookup)]
+          .total_us.count,
+      static_cast<uint64_t>(kLookups));
+  EXPECT_EQ(scheduler.queued(), 0u);
+  EXPECT_EQ(scheduler.running(), 0u);
+}
+
+// ------------------------------------------------------- dispatch ordering
+
+/// Executor double: records the order jobs reach Execute(), can hold a
+/// designated "plug" job on a gate (to pin the single worker while a
+/// backlog builds), and parks "hang" jobs on their CancelToken.
+class StubExecutor : public rede::Executor {
+ public:
+  const std::string& name() const override { return name_; }
+
+  using rede::Executor::Execute;
+  StatusOr<rede::JobResult> Execute(const rede::Job& job,
+                                    const rede::ResultSink& sink,
+                                    CancelToken* cancel) override {
+    (void)sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      order_.push_back(job.name());
+    }
+    started_.fetch_add(1, std::memory_order_relaxed);
+    if (job.name() == "plug") {
+      std::unique_lock<std::mutex> lock(mu_);
+      gate_cv_.wait(lock, [&] { return gate_open_; });
+    } else if (job.name().rfind("hang", 0) == 0) {
+      // Park until cancelled (10 s backstop — the test cancels much
+      // sooner; reaching the backstop is itself a failure signal).
+      if (cancel != nullptr) cancel->WaitFor(10'000'000);
+    }
+    if (cancel != nullptr && cancel->cancelled()) return cancel->cause();
+    return rede::JobResult{};
+  }
+
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+
+  int started() const { return started_.load(std::memory_order_relaxed); }
+
+  std::vector<std::string> order() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+
+ private:
+  const std::string name_ = "stub";
+  mutable std::mutex mu_;
+  std::condition_variable gate_cv_;
+  bool gate_open_ = false;
+  std::vector<std::string> order_;
+  std::atomic<int> started_{0};
+};
+
+/// Tiny one-file lake so the stub tests can build real (validated) Jobs;
+/// the stub never actually executes them.
+struct StubSchedTest : ::testing::Test {
+  StubSchedTest()
+      : cluster(sim::ClusterOptions::ForNodes(1)), engine(&cluster) {
+    auto file = std::make_shared<io::PartitionedFile>(
+        "t", std::make_shared<io::HashPartitioner>(1), &cluster);
+    LH_CHECK(file->Append(io::EncodeInt64Key(0), io::EncodeInt64Key(0),
+                          io::Record("r0"))
+                 .ok());
+    file->Seal();
+    LH_CHECK(engine.catalog().Register(file).ok());
+  }
+
+  rede::Job MakeJob(const std::string& name) {
+    auto file = engine.catalog().Get("t");
+    LH_CHECK(file.ok());
+    auto job =
+        rede::JobBuilder(name)
+            .Initial(
+                rede::Tuple::Point(io::Pointer::Keyed(io::EncodeInt64Key(0))))
+            .Add(rede::MakePointDereferencer("d", *file))
+            .Build();
+    LH_CHECK(job.ok());
+    return *std::move(job);
+  }
+
+  /// Block until the stub has started `n` jobs (bounded spin).
+  static void AwaitStarted(const StubExecutor& stub, int n) {
+    const int64_t deadline_us = NowMicros() + 10'000'000;
+    while (stub.started() < n && NowMicros() < deadline_us) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(stub.started(), n);
+  }
+
+  sim::Cluster cluster;
+  rede::Engine engine;
+};
+
+TEST_F(StubSchedTest, FairDispatchInterleavesLookupsAheadOfScanBacklog) {
+  // One slot; a plug job pins it while a backlog builds: four analytical
+  // scans from tenant-a, then four point lookups from tenant-b. Under SFQ
+  // (scan cost 4 / weight 1 vs lookup cost 1 / weight 4) the lookups all
+  // overtake the second scan despite being submitted last.
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  options.fair = true;
+  JobScheduler scheduler(&stub, options);
+
+  std::vector<rede::Job> jobs;
+  jobs.push_back(MakeJob("plug"));
+  for (int i = 1; i <= 4; ++i) jobs.push_back(MakeJob("s" + std::to_string(i)));
+  for (int i = 1; i <= 4; ++i) jobs.push_back(MakeJob("l" + std::to_string(i)));
+
+  std::vector<JobHandlePtr> handles;
+  JobSpec plug_spec;
+  plug_spec.tenant = "ops";
+  auto plug = scheduler.Submit(jobs[0], std::move(plug_spec));
+  ASSERT_TRUE(plug.ok());
+  handles.push_back(*plug);
+  AwaitStarted(stub, 1);  // the backlog below queues behind the plug
+
+  for (int i = 1; i <= 4; ++i) {
+    JobSpec spec;
+    spec.tenant = "tenant-a";
+    spec.job_class = JobClass::kAnalyticalScan;
+    auto handle = scheduler.Submit(jobs[i], std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  for (int i = 5; i <= 8; ++i) {
+    JobSpec spec;
+    spec.tenant = "tenant-b";
+    spec.job_class = JobClass::kPointLookup;
+    auto handle = scheduler.Submit(jobs[i], std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+
+  stub.OpenGate();
+  for (auto& handle : handles) ASSERT_TRUE(handle->Wait().ok());
+
+  const std::vector<std::string> expected = {"plug", "s1", "l1", "l2", "l3",
+                                             "l4",   "s2", "s3", "s4"};
+  EXPECT_EQ(stub.order(), expected);
+}
+
+TEST_F(StubSchedTest, FifoDispatchesInStrictSubmissionOrder) {
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  options.fair = false;
+  JobScheduler scheduler(&stub, options);
+
+  std::vector<rede::Job> jobs;
+  jobs.push_back(MakeJob("plug"));
+  for (int i = 1; i <= 4; ++i) jobs.push_back(MakeJob("s" + std::to_string(i)));
+  for (int i = 1; i <= 4; ++i) jobs.push_back(MakeJob("l" + std::to_string(i)));
+
+  std::vector<JobHandlePtr> handles;
+  auto plug = scheduler.Submit(jobs[0], JobSpec{});
+  ASSERT_TRUE(plug.ok());
+  handles.push_back(*plug);
+  AwaitStarted(stub, 1);
+
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    JobSpec spec;
+    spec.tenant = i <= 4 ? "tenant-a" : "tenant-b";
+    spec.job_class = i <= 4 ? JobClass::kAnalyticalScan
+                            : JobClass::kPointLookup;
+    auto handle = scheduler.Submit(jobs[i], std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+
+  stub.OpenGate();
+  for (auto& handle : handles) ASSERT_TRUE(handle->Wait().ok());
+
+  const std::vector<std::string> expected = {"plug", "s1", "s2", "s3", "s4",
+                                             "l1",   "l2", "l3", "l4"};
+  EXPECT_EQ(stub.order(), expected);
+}
+
+// ------------------------------------------------------- admission control
+
+TEST_F(StubSchedTest, AdmissionControlRejectsBeyondQueueDepth) {
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  options.max_queue_depth = 2;
+  JobScheduler scheduler(&stub, options);
+
+  rede::Job plug_job = MakeJob("plug");
+  rede::Job work = MakeJob("w");
+  auto plug = scheduler.Submit(plug_job, JobSpec{});
+  ASSERT_TRUE(plug.ok());
+  AwaitStarted(stub, 1);  // plug holds the slot; the queue is now empty
+
+  auto first = scheduler.Submit(work, JobSpec{});
+  auto second = scheduler.Submit(work, JobSpec{});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(scheduler.queued(), 2u);
+
+  // Third queued job exceeds max_queue_depth: shed with kResourceExhausted.
+  auto third = scheduler.Submit(work, JobSpec{});
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsResourceExhausted())
+      << third.status().ToString();
+
+  stub.OpenGate();
+  ASSERT_TRUE((*plug)->Wait().ok());
+  ASSERT_TRUE((*first)->Wait().ok());
+  ASSERT_TRUE((*second)->Wait().ok());
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+// -------------------------------------------------- deadlines and cancels
+
+TEST_F(StubSchedTest, DeadlineExpiresQueuedJobWithoutWaitingForASlot) {
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  JobScheduler scheduler(&stub, options);
+
+  rede::Job plug_job = MakeJob("plug");
+  rede::Job victim_job = MakeJob("victim");
+  auto plug = scheduler.Submit(plug_job, JobSpec{});
+  ASSERT_TRUE(plug.ok());
+  AwaitStarted(stub, 1);
+
+  JobSpec spec;
+  spec.tenant = "latency-tenant";
+  spec.job_class = JobClass::kPointLookup;
+  spec.deadline_ms = 50;
+  const int64_t t0 = NowMicros();
+  auto victim = scheduler.Submit(victim_job, std::move(spec));
+  ASSERT_TRUE(victim.ok());
+
+  // The deadline timer must finish the still-queued victim itself — the
+  // plug never releases the slot until after we've observed the failure.
+  auto result = (*victim)->Wait();
+  const int64_t elapsed_us = NowMicros() - t0;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_LT(elapsed_us, 5'000'000);  // promptly, not when the plug drains
+  EXPECT_EQ(stub.started(), 1);      // the victim never reached Execute()
+
+  stub.OpenGate();
+  ASSERT_TRUE((*plug)->Wait().ok());
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST_F(StubSchedTest, DeadlineInterruptsRunningJobThroughItsToken) {
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  JobScheduler scheduler(&stub, options);
+
+  rede::Job job = MakeJob("hang");  // parks on its CancelToken for 10 s
+  JobSpec spec;
+  spec.deadline_ms = 100;
+  const int64_t t0 = NowMicros();
+  auto result = scheduler.Run(job, std::move(spec));
+  const int64_t elapsed_us = NowMicros() - t0;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_LT(elapsed_us, 5'000'000);  // token flip cut the 10 s park short
+}
+
+TEST_F(StubSchedTest, CancelStopsRunningJobPromptly) {
+  StubExecutor stub;
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  JobScheduler scheduler(&stub, options);
+
+  rede::Job job = MakeJob("hang");
+  auto handle = scheduler.Submit(job, JobSpec{});
+  ASSERT_TRUE(handle.ok());
+  AwaitStarted(stub, 1);
+
+  const int64_t t0 = NowMicros();
+  (*handle)->Cancel(Status::Aborted("tenant evicted"));
+  auto result = (*handle)->Wait();
+  const int64_t elapsed_us = NowMicros() - t0;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
+  EXPECT_LT(elapsed_us, 5'000'000);
+  EXPECT_EQ(scheduler.stats().cancelled, 1u);
+}
+
+TEST_F(StubSchedTest, ShutdownFailsQueuedJobsAndRejectsNewOnes) {
+  rede::Job plug_job = MakeJob("plug");
+  rede::Job queued_job = MakeJob("q");
+  auto stub = std::make_unique<StubExecutor>();
+  SchedulerOptions options;
+  options.execution_slots = 1;
+  JobScheduler scheduler(stub.get(), options);
+
+  auto plug = scheduler.Submit(plug_job, JobSpec{});
+  ASSERT_TRUE(plug.ok());
+  AwaitStarted(*stub, 1);
+  auto queued = scheduler.Submit(queued_job, JobSpec{});
+  ASSERT_TRUE(queued.ok());
+
+  // Shut down while the plug still holds the only slot: the queued job is
+  // failed immediately (before worker join), so its Wait() returns Aborted
+  // even though the plug is still running. Only then release the plug so
+  // Shutdown can join its worker.
+  std::thread shutdown_thread([&] { scheduler.Shutdown(); });
+  auto queued_result = (*queued)->Wait();
+  ASSERT_FALSE(queued_result.ok());
+  EXPECT_TRUE(queued_result.status().IsAborted())
+      << queued_result.status().ToString();
+  stub->OpenGate();
+  shutdown_thread.join();
+  ASSERT_TRUE((*plug)->Wait().ok());
+
+  auto late = scheduler.Submit(queued_job, JobSpec{});
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsAborted());
+}
+
+// ------------------------------------------- retry backoff interruption
+
+TEST(RetryCancellation, CancelInterruptsBackoffSleepWithinTheQuantum) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_us = 10'000'000;  // one 10 s quantum
+  policy.backoff_max_us = 10'000'000;
+
+  CancelToken token;
+  std::atomic<int> calls{0};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel(Status::Aborted("tenant evicted"));
+  });
+
+  const int64_t t0 = NowMicros();
+  Status status = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return Status::IOError("device down");
+      },
+      /*observe=*/nullptr, &token, /*jitter_seed=*/1);
+  const int64_t elapsed_us = NowMicros() - t0;
+  canceller.join();
+
+  // The cancel must land mid-backoff: the operation failed once, the 10 s
+  // sleep was interrupted, and the token's cause came back — well within
+  // one backoff quantum.
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_LT(elapsed_us, 5'000'000);
+}
+
+}  // namespace
+}  // namespace lakeharbor::sched
