@@ -67,6 +67,9 @@ struct ClassReport {
 struct ModeOutcome {
   std::string checksum;  ///< order-independent digest of every job's answer
   ClassReport per_class[sched::kNumJobClasses];
+  /// Per-(tenant, class) backlog snapshot taken mid-burst, right after the
+  /// full submission wave — the moment every slot is saturated.
+  std::vector<sched::SchedulerStats::FlowStats> mid_run_flows;
   uint64_t completed = 0;
   double wall_ms = 0.0;
 };
@@ -199,6 +202,11 @@ ModeOutcome RunMode(bool fair, const MixConfig& mix,
            sched::JobClass::kPointLookup, lookup_digest);
   }
 
+  // Backlog snapshot while the burst is live: per-flow queue depth and
+  // oldest-queued age under saturation.
+  std::vector<sched::SchedulerStats::FlowStats> mid_run_flows =
+      scheduler.stats().flows;
+
   // Order-independent digest: fold each job's answer digest with FNV (the
   // handles complete in scheduler order, but Fnv1a over the fixed
   // submission order is schedule-independent).
@@ -221,6 +229,7 @@ ModeOutcome RunMode(bool fair, const MixConfig& mix,
     outcome.per_class[c].exec_us = stats.per_class[c].exec_us;
     outcome.per_class[c].total_us = stats.per_class[c].total_us;
   }
+  outcome.mid_run_flows = std::move(mid_run_flows);
   return outcome;
 }
 
@@ -249,6 +258,21 @@ void EmitMode(FILE* out, const char* mode, const ModeOutcome& outcome) {
     EmitHist(&row, "queue_wait_us", report.queue_wait_us);
     EmitHist(&row, "exec_us", report.exec_us);
     EmitHist(&row, "total_us", report.total_us);
+    std::string line = row.Dump();
+    std::printf("%s\n", line.c_str());
+    if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());
+  }
+  for (const sched::SchedulerStats::FlowStats& flow : outcome.mid_run_flows) {
+    Json row = Json::MakeObject();
+    row.Set("bench", Json::MakeString("traffic_mix"));
+    row.Set("mode", Json::MakeString(mode));
+    row.Set("flow_tenant", Json::MakeString(flow.tenant));
+    row.Set("flow_class",
+            Json::MakeString(sched::JobClassToString(flow.job_class)));
+    row.Set("queue_depth",
+            Json::MakeNumber(static_cast<double>(flow.queue_depth)));
+    row.Set("oldest_queued_age_us",
+            Json::MakeNumber(static_cast<double>(flow.oldest_queued_age_us)));
     std::string line = row.Dump();
     std::printf("%s\n", line.c_str());
     if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());

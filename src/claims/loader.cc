@@ -1,11 +1,24 @@
 #include "claims/loader.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "io/key_codec.h"
 
 namespace lakeharbor::claims {
 
 namespace {
+
+/// Surface a clamped replication factor with the FILE name attached — the
+/// PlacementMap warning alone cannot say which table lost copies.
+void WarnIfClamped(const io::File& file) {
+  const io::PlacementMap placement = file.placement();
+  if (!placement.clamped()) return;
+  LH_LOG_WARN << "claims loader: file '" << file.name() << "' requested rf "
+              << placement.requested_replication_factor()
+              << " but runs with effective rf "
+              << placement.replication_factor() << " ("
+              << placement.num_nodes() << " active nodes)";
+}
 
 uint32_t ResolvePartitions(rede::Engine& engine,
                            const ClaimsLoadOptions& options) {
@@ -22,6 +35,7 @@ Status LoadDetailTable(rede::Engine& engine, const char* name,
       name, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
   file->SetReplicationFactor(replication_factor);
+  WarnIfClamped(*file);
   for (const std::string& row : rows) {
     LH_ASSIGN_OR_RETURN(int64_t claim_id, ParseInt64(FieldAt(row, '|', 0)));
     LH_ASSIGN_OR_RETURN(int64_t seq, ParseInt64(FieldAt(row, '|', 1)));
@@ -43,6 +57,7 @@ Status LoadRawClaims(rede::Engine& engine, const ClaimsData& data,
       names::kRawClaims, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), options.btree_fanout);
   file->SetReplicationFactor(options.replication_factor);
+  WarnIfClamped(*file);
   for (const std::string& raw : data.raw) {
     io::Record record{std::string(raw)};
     LH_ASSIGN_OR_RETURN(int64_t id, ExtractClaimId(record));
@@ -117,6 +132,7 @@ Status LoadWarehouseClaims(rede::Engine& engine, const ClaimsData& data,
       names::kWhClaims, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
   claims_file->SetReplicationFactor(options.replication_factor);
+  WarnIfClamped(*claims_file);
   for (const std::string& row : claim_rows) {
     LH_ASSIGN_OR_RETURN(int64_t id, ParseInt64(FieldAt(row, '|', 0)));
     std::string key = io::EncodeInt64Key(id);

@@ -21,6 +21,10 @@ struct AccessStats {
   std::atomic<uint64_t> failovers{0};       ///< io-level replica failovers
                                             ///< (scans moving past a dead
                                             ///< replica)
+  std::atomic<uint64_t> old_epoch_reads{0}; ///< reads served from the OLD
+                                            ///< placement during a rebalance
+  std::atomic<uint64_t> new_epoch_reads{0}; ///< reads served from the NEW
+                                            ///< placement during a rebalance
 
   uint64_t record_accesses() const {
     return records_read.load() + records_scanned.load();
@@ -37,6 +41,8 @@ struct AccessStats {
     batched_gets = 0;
     batched_keys = 0;
     failovers = 0;
+    old_epoch_reads = 0;
+    new_epoch_reads = 0;
   }
 };
 

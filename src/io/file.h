@@ -34,7 +34,7 @@ class File {
       : name_(std::move(name)),
         partitioner_(std::move(partitioner)),
         cluster_(cluster),
-        placement_(cluster->num_nodes(), 1) {
+        placement_(PlacementMap(cluster->ActiveNodeIds(), 1)) {
     LH_CHECK(partitioner_ != nullptr);
     LH_CHECK(cluster_ != nullptr);
   }
@@ -46,9 +46,11 @@ class File {
   uint32_t num_partitions() const { return partitioner_->num_partitions(); }
   sim::Cluster* cluster() const { return cluster_; }
 
-  /// Node holding the PRIMARY replica of `partition` — identical to the
-  /// unreplicated `p mod num_nodes` placement, whatever the replication
-  /// factor (replicas only ADD copies; they never move the primary).
+  /// Node holding the SERVING primary replica of `partition` — identical
+  /// to the unreplicated `p mod num_nodes` placement on a static cluster,
+  /// whatever the replication factor (replicas only ADD copies; they never
+  /// move the primary). During a rebalance this is the old primary until
+  /// the partition's epoch flip, then the new one.
   sim::NodeId NodeOfPartition(uint32_t partition) const {
     return placement_.PrimaryNode(partition);
   }
@@ -57,18 +59,42 @@ class File {
     return placement_.ReplicaNode(partition, replica);
   }
 
-  /// Replicate this file's partitions `rf`-way (clamped to the node
-  /// count). Placement-only in this simulation: replica reads hit the
-  /// replica node's devices, and ingest charges writes to every replica.
-  /// Call before or after loading — charging is the same either way since
-  /// record payloads are held once in memory.
+  /// Replica slots a reader may currently try for `partition` — equals
+  /// replication_factor() in steady state, old+new set sizes during the
+  /// post-flip window of a rebalance. Failover loops iterate this, NOT
+  /// replication_factor(), so queries keep serving across epoch flips.
+  uint32_t ReplicaCountFor(uint32_t partition) const {
+    return placement_.ReplicaCountFor(partition);
+  }
+
+  /// Broadcast owner of `partition` for a tuple stamped at `fanout_epoch`
+  /// (io::kEpochCurrent = live placement). See PlacementManager.
+  sim::NodeId BroadcastOwner(uint32_t partition, uint64_t fanout_epoch) const {
+    return placement_.BroadcastOwner(partition, fanout_epoch);
+  }
+
+  /// Replicate this file's partitions `rf`-way (clamped LOUDLY to the
+  /// active node count — see PlacementMap::clamped()). Placement-only in
+  /// this simulation: replica reads hit the replica node's devices, and
+  /// ingest charges writes to every replica. Call before or after
+  /// loading — charging is the same either way since record payloads are
+  /// held once in memory. Must not be called during a rebalance.
   void SetReplicationFactor(uint32_t rf) {
-    placement_ = PlacementMap(cluster_->num_nodes(), rf);
+    placement_.Reset(PlacementMap(cluster_->ActiveNodeIds(), rf));
   }
   uint32_t replication_factor() const {
     return placement_.replication_factor();
   }
-  const PlacementMap& placement() const { return placement_; }
+
+  /// Copy of the current TARGET placement snapshot (steady state: the
+  /// serving map). Ingest-side callers use its ReplicaNodes() to charge
+  /// replicated writes.
+  PlacementMap placement() const { return placement_.Snapshot(); }
+
+  /// The epoch-versioned placement — the rebalancer drives transitions
+  /// through this.
+  PlacementManager& placement_manager() { return placement_; }
+  const PlacementManager& placement_manager() const { return placement_; }
 
   /// Resolve a pointer (must carry partition information) to the records
   /// with the matching in-partition key. An empty result is not an error.
@@ -139,6 +165,15 @@ class File {
   virtual uint64_t num_records() const = 0;
   virtual uint64_t total_bytes() const = 0;
 
+  /// Bytes held by one partition — the unit of rebalance copy work. The
+  /// base implementation assumes even spread; PartitionedFile reports the
+  /// exact per-partition payload.
+  virtual uint64_t PartitionBytes(uint32_t partition) const {
+    (void)partition;
+    const uint32_t parts = num_partitions();
+    return parts == 0 ? 0 : total_bytes() / parts;
+  }
+
   const AccessStats& access_stats() const { return access_stats_; }
   AccessStats& mutable_access_stats() { return access_stats_; }
 
@@ -146,7 +181,7 @@ class File {
   std::string name_;
   std::shared_ptr<Partitioner> partitioner_;
   sim::Cluster* cluster_;
-  PlacementMap placement_;
+  PlacementManager placement_;
   AccessStats access_stats_;
 };
 

@@ -57,12 +57,30 @@ Status PartitionedFile::CheckPartitionAndReplica(uint32_t partition,
     return Status::OutOfRange("partition out of range in file '" + name_ +
                               "'");
   }
-  if (replica >= replication_factor()) {
+  // Per-partition count: during a rebalance a flipped partition exposes
+  // old+new replica slots, and the count may legally SHRINK between the
+  // caller's check and the charge (flip/abort race) — ChargeLookup folds
+  // the index, so a stale-but-once-valid replica never crashes.
+  const uint32_t count = ReplicaCountFor(partition);
+  if (replica >= count) {
     return Status::OutOfRange("replica " + std::to_string(replica) +
-                              " out of range in file '" + name_ + "' (rf=" +
-                              std::to_string(replication_factor()) + ")");
+                              " out of range in file '" + name_ +
+                              "' (slots=" + std::to_string(count) + ")");
   }
   return Status::OK();
+}
+
+void PartitionedFile::CountEpochRead(uint32_t partition, uint32_t replica) {
+  switch (placement_.AttributeRead(partition, replica)) {
+    case ReadEpoch::kSteady:
+      break;
+    case ReadEpoch::kOldEpoch:
+      access_stats_.old_epoch_reads.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ReadEpoch::kNewEpoch:
+      access_stats_.new_epoch_reads.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
 }
 
 Status PartitionedFile::ChargeLookup(sim::NodeId compute_node,
@@ -72,6 +90,7 @@ Status PartitionedFile::ChargeLookup(sim::NodeId compute_node,
   sim::NodeId storage_node = NodeOfReplica(partition, replica);
   LH_RETURN_NOT_OK(cluster_->ChargeRandomRead(
       compute_node, storage_node, std::max(result_bytes, kMinProbeBytes)));
+  CountEpochRead(partition, replica);
   access_stats_.records_read.fetch_add(result_records,
                                        std::memory_order_relaxed);
   return Status::OK();
@@ -157,6 +176,7 @@ Status PartitionedFile::GetBatchInPartitionOnReplica(
   LH_RETURN_NOT_OK(cluster_->ChargeBatchRead(compute_node, storage_node,
                                              keys.size(),
                                              std::max(bytes, kMinProbeBytes)));
+  CountEpochRead(partition, replica);
   access_stats_.batched_gets.fetch_add(1, std::memory_order_relaxed);
   access_stats_.batched_keys.fetch_add(keys.size(), std::memory_order_relaxed);
   access_stats_.records_read.fetch_add(found, std::memory_order_relaxed);
@@ -185,7 +205,7 @@ Status PartitionedFile::ScanPartitionKeyed(sim::NodeId compute_node,
   // whose charge comes back kUnavailable hands the scan to the next one.
   // The charge happens BEFORE any record is visited, so switching replicas
   // never double-delivers records.
-  const uint32_t rf = replication_factor();
+  const uint32_t rf = ReplicaCountFor(partition);
   Status charge;
   for (uint32_t r = 0; r < rf; ++r) {
     sim::NodeId storage_node = NodeOfReplica(partition, r);
@@ -196,6 +216,7 @@ Status PartitionedFile::ScanPartitionKeyed(sim::NodeId compute_node,
     charge = cluster_->ChargeSequentialRead(
         compute_node, storage_node,
         std::max<uint64_t>(p.bytes, kMinProbeBytes));
+    if (charge.ok()) CountEpochRead(partition, r);
     if (charge.ok() || !charge.IsUnavailable() || r + 1 >= rf) break;
     access_stats_.failovers.fetch_add(1, std::memory_order_relaxed);
   }
@@ -238,6 +259,7 @@ Status BtreeFile::GetRangeInPartitionOnReplica(sim::NodeId compute_node,
   // One random read for the index descent...
   LH_RETURN_NOT_OK(
       cluster_->ChargeRandomRead(compute_node, storage_node, kMinProbeBytes));
+  CountEpochRead(partition, replica);
   uint64_t visited = 0;
   uint64_t bytes = 0;
   partitions_[partition].tree->GetRange(

@@ -71,6 +71,9 @@ class PartitionedFile : public File {
 
   uint64_t num_records() const override { return num_records_; }
   uint64_t total_bytes() const override { return total_bytes_; }
+  uint64_t PartitionBytes(uint32_t partition) const override {
+    return partitions_[partition].bytes;
+  }
   uint64_t partition_bytes(uint32_t partition) const {
     return partitions_[partition].bytes;
   }
@@ -89,6 +92,9 @@ class PartitionedFile : public File {
   Status ChargeLookup(sim::NodeId compute_node, uint32_t partition,
                       uint32_t replica, size_t result_bytes,
                       size_t result_records);
+  /// Per-epoch read attribution (obs): counts a successful read of
+  /// `replica` into old_epoch_reads/new_epoch_reads during a rebalance.
+  void CountEpochRead(uint32_t partition, uint32_t replica);
 
   std::vector<Partition> partitions_;
   uint64_t num_records_ = 0;

@@ -1,0 +1,246 @@
+#include "io/placement.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lakeharbor::io {
+
+namespace {
+
+std::vector<sim::NodeId> DenseMembers(uint32_t num_nodes) {
+  std::vector<sim::NodeId> members(num_nodes == 0 ? 1 : num_nodes);
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    members[i] = static_cast<sim::NodeId>(i);
+  }
+  return members;
+}
+
+}  // namespace
+
+PlacementMap::PlacementMap(uint32_t num_nodes, uint32_t replication_factor)
+    : PlacementMap(DenseMembers(num_nodes), replication_factor) {}
+
+PlacementMap::PlacementMap(std::vector<sim::NodeId> members,
+                           uint32_t replication_factor)
+    : members_(std::move(members)),
+      requested_(replication_factor < 1 ? 1 : replication_factor) {
+  LH_CHECK_MSG(!members_.empty(), "placement needs at least one member");
+  const uint32_t m = static_cast<uint32_t>(members_.size());
+  replication_ = requested_ > m ? m : requested_;
+  if (clamped()) {
+    // Loud, once per constructed map (ISSUE 7 satellite): a silently
+    // downgraded rf used to make rf=3-on-2-nodes configs pass as rf=2.
+    LH_LOG_WARN << "PlacementMap: requested replication_factor " << requested_
+                << " exceeds member count " << m << "; clamped to "
+                << replication_ << " — the extra copies CANNOT be placed on "
+                << "distinct nodes (check loader replication knobs)";
+  }
+}
+
+PlacementManager::PlacementManager(PlacementMap initial) {
+  auto state = std::make_unique<State>();
+  state->current = std::make_shared<const PlacementMap>(std::move(initial));
+  Publish(std::move(state));
+}
+
+void PlacementManager::Publish(std::unique_ptr<State> next) {
+  state_.store(next.get(), std::memory_order_release);
+  graveyard_.push_back(std::move(next));
+}
+
+uint32_t PlacementManager::ReplicaCountFor(uint32_t partition) const {
+  const State& s = state();
+  if (s.previous != nullptr) {
+    const bool flipped =
+        partition < s.num_partitions &&
+        s.migrated[partition].load(std::memory_order_acquire) != 0;
+    if (flipped) {
+      return s.current->replication_factor() +
+             s.previous->replication_factor();
+    }
+    return s.previous->replication_factor();
+  }
+  return s.current->replication_factor();
+}
+
+sim::NodeId PlacementManager::ReplicaNode(uint32_t partition,
+                                          uint32_t replica) const {
+  const State& s = state();
+  if (s.previous != nullptr) {
+    const bool flipped =
+        partition < s.num_partitions &&
+        s.migrated[partition].load(std::memory_order_acquire) != 0;
+    if (flipped) {
+      // New replicas first, old ones appended as the failover tail. The
+      // fold keeps a replica index obtained from a pre-flip count valid.
+      const uint32_t new_rf = s.current->replication_factor();
+      const uint32_t count = new_rf + s.previous->replication_factor();
+      const uint32_t r = replica % count;
+      return r < new_rf ? s.current->ReplicaNode(partition, r)
+                        : s.previous->ReplicaNode(partition, r - new_rf);
+    }
+    return s.previous->ReplicaNode(
+        partition, replica % s.previous->replication_factor());
+  }
+  return s.current->ReplicaNode(partition,
+                                replica % s.current->replication_factor());
+}
+
+ReadEpoch PlacementManager::AttributeRead(uint32_t partition,
+                                          uint32_t replica) const {
+  const State& s = state();
+  if (s.previous == nullptr) return ReadEpoch::kSteady;
+  const bool flipped =
+      partition < s.num_partitions &&
+      s.migrated[partition].load(std::memory_order_acquire) != 0;
+  if (!flipped) return ReadEpoch::kOldEpoch;
+  const uint32_t new_rf = s.current->replication_factor();
+  const uint32_t count = new_rf + s.previous->replication_factor();
+  return (replica % count) < new_rf ? ReadEpoch::kNewEpoch
+                                    : ReadEpoch::kOldEpoch;
+}
+
+std::optional<uint32_t> PlacementManager::FirstLiveReplica(
+    const sim::Cluster& cluster, uint32_t partition) const {
+  const uint32_t count = ReplicaCountFor(partition);
+  for (uint32_t r = 0; r < count; ++r) {
+    if (!cluster.NodeIsDown(ReplicaNode(partition, r))) return r;
+  }
+  return std::nullopt;
+}
+
+sim::NodeId PlacementManager::BroadcastOwner(uint32_t partition,
+                                             uint64_t fanout_epoch) const {
+  const State& s = state();
+  if (fanout_epoch != kEpochCurrent && fanout_epoch < s.commit_epoch &&
+      s.retired != nullptr) {
+    // The tuple was fanned out before the last commit: every node of that
+    // job resolves against the retired map, commit race or not.
+    return s.retired->PrimaryNode(partition);
+  }
+  if (s.previous != nullptr) {
+    // Mid-rebalance the OLD primary owns broadcasts for every partition —
+    // flips change replica READ preference, not broadcast ownership, so
+    // one job never sees a partition owned by two nodes.
+    return s.previous->PrimaryNode(partition);
+  }
+  return s.current->PrimaryNode(partition);
+}
+
+PlacementMap PlacementManager::Snapshot() const { return *state().current; }
+
+uint32_t PlacementManager::replication_factor() const {
+  return state().current->replication_factor();
+}
+
+bool PlacementManager::rebalancing() const {
+  return state().previous != nullptr;
+}
+
+void PlacementManager::Reset(PlacementMap map) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const State* cur = state_.load(std::memory_order_relaxed);
+  LH_CHECK_MSG(cur->previous == nullptr,
+               "PlacementManager::Reset during a rebalance");
+  auto next = std::make_unique<State>();
+  next->current = std::make_shared<const PlacementMap>(std::move(map));
+  next->retired = cur->retired;
+  next->commit_epoch = cur->commit_epoch;
+  Publish(std::move(next));
+}
+
+StatusOr<MigrationPlan> PlacementManager::BeginTransition(
+    PlacementMap next_map, uint32_t num_partitions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const State* cur = state_.load(std::memory_order_relaxed);
+  if (cur->previous != nullptr) {
+    return Status::InvalidArgument(
+        "placement transition already in flight");
+  }
+  auto next = std::make_unique<State>();
+  next->previous = cur->current;
+  next->current = std::make_shared<const PlacementMap>(std::move(next_map));
+  next->retired = cur->retired;
+  next->commit_epoch = cur->commit_epoch;
+  next->num_partitions = num_partitions;
+  next->migrated = std::make_unique<std::atomic<uint32_t>[]>(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    next->migrated[p].store(0, std::memory_order_relaxed);
+  }
+
+  MigrationPlan plan;
+  plan.partitions_total = num_partitions;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    std::vector<sim::NodeId> old_nodes = next->previous->ReplicaNodes(p);
+    std::vector<sim::NodeId> new_nodes = next->current->ReplicaNodes(p);
+    PartitionMove move;
+    move.partition = p;
+    move.sources = old_nodes;
+    for (sim::NodeId n : new_nodes) {
+      if (std::find(old_nodes.begin(), old_nodes.end(), n) ==
+          old_nodes.end()) {
+        move.targets.push_back(n);
+      }
+    }
+    if (move.targets.empty()) {
+      // Every new replica already holds a copy — flip immediately.
+      next->migrated[p].store(1, std::memory_order_relaxed);
+      ++plan.partitions_unchanged;
+    } else {
+      plan.moves.push_back(std::move(move));
+    }
+  }
+  Publish(std::move(next));
+  return plan;
+}
+
+void PlacementManager::MarkPartitionMigrated(uint32_t partition) {
+  const State& s = state();
+  LH_CHECK_MSG(s.previous != nullptr,
+               "MarkPartitionMigrated outside a transition");
+  LH_CHECK(partition < s.num_partitions);
+  s.migrated[partition].store(1, std::memory_order_release);
+}
+
+bool PlacementManager::PartitionMigrated(uint32_t partition) const {
+  const State& s = state();
+  if (s.previous == nullptr) return true;
+  LH_CHECK(partition < s.num_partitions);
+  return s.migrated[partition].load(std::memory_order_acquire) != 0;
+}
+
+Status PlacementManager::CommitTransition(uint64_t serving_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const State* cur = state_.load(std::memory_order_relaxed);
+  if (cur->previous == nullptr) {
+    return Status::InvalidArgument("CommitTransition without a transition");
+  }
+  for (uint32_t p = 0; p < cur->num_partitions; ++p) {
+    if (cur->migrated[p].load(std::memory_order_acquire) == 0) {
+      return Status::InvalidArgument(
+          "CommitTransition: partition " + std::to_string(p) +
+          " not yet drained");
+    }
+  }
+  auto next = std::make_unique<State>();
+  next->current = cur->current;
+  next->retired = cur->previous;  // stamped in-flight broadcasts
+  next->commit_epoch = serving_epoch;
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+void PlacementManager::AbortTransition() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const State* cur = state_.load(std::memory_order_relaxed);
+  if (cur->previous == nullptr) return;
+  auto next = std::make_unique<State>();
+  next->current = cur->previous;  // revert; old copies were never released
+  next->retired = cur->retired;
+  next->commit_epoch = cur->commit_epoch;
+  Publish(std::move(next));
+}
+
+}  // namespace lakeharbor::io

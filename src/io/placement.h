@@ -1,38 +1,73 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "sim/cluster.h"
 
 /// \file placement.h
-/// Replica placement of file partitions onto cluster nodes. The seed rule
-/// "partition p lives on node p mod N" becomes "replica r of partition p
-/// lives on node (p + r) mod N": replica 0 (the PRIMARY) is exactly the old
-/// placement, so replication_factor = 1 reproduces today's layout
-/// bit-for-bit, and successive replicas land on distinct nodes by
-/// construction (chained declustering). Replication is capped at the node
-/// count — more copies than nodes cannot be placed on distinct nodes.
+/// Replica placement of file partitions onto cluster nodes, in two layers:
+///
+///   - PlacementMap: an IMMUTABLE placement snapshot over an explicit
+///     member list. The seed rule "partition p lives on node p mod N"
+///     becomes "replica r of partition p lives on members[(p + r) mod M]":
+///     replica 0 (the PRIMARY) is exactly the old placement for the dense
+///     member list [0..N), so replication_factor = 1 on a fresh cluster
+///     reproduces the seed layout bit-for-bit, and successive replicas land
+///     on distinct nodes by construction (chained declustering).
+///
+///   - PlacementManager: the versioned-epoch holder making membership
+///     changes safe under live traffic. It keeps an old→new PlacementMap
+///     pair during a rebalance plus a per-partition "migrated" flip bit;
+///     readers resolve replicas lock-free against ONE consistent snapshot
+///     (a single atomic pointer load), serving old-or-new with failover.
+///
+/// Replication is capped at the member count — more copies than members
+/// cannot be placed on distinct nodes. The clamp is LOUD (satellite of
+/// ISSUE 7): a warning is logged and `clamped()` reports it, so rf=3 on a
+/// 2-node cluster fails visibly in tests instead of quietly running rf=2.
 
 namespace lakeharbor::io {
+
+/// Tuples carrying this epoch value resolve against the live placement;
+/// any smaller value pins resolution to the snapshot that was current when
+/// the tuple was fanned out (see PlacementManager::BroadcastOwner).
+inline constexpr uint64_t kEpochCurrent = UINT64_MAX;
 
 class PlacementMap {
  public:
   PlacementMap() : PlacementMap(1, 1) {}
-  PlacementMap(uint32_t num_nodes, uint32_t replication_factor)
-      : num_nodes_(num_nodes == 0 ? 1 : num_nodes),
-        replication_(Clamp(replication_factor, num_nodes_)) {}
 
-  uint32_t num_nodes() const { return num_nodes_; }
+  /// Dense member list [0..num_nodes) — the seed-compatible constructor.
+  PlacementMap(uint32_t num_nodes, uint32_t replication_factor);
+
+  /// Explicit member list (elastic clusters: active node ids). Members
+  /// must be non-empty; order defines the placement.
+  PlacementMap(std::vector<sim::NodeId> members, uint32_t replication_factor);
+
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(members_.size());
+  }
+  const std::vector<sim::NodeId>& members() const { return members_; }
   uint32_t replication_factor() const { return replication_; }
+
+  /// The rf the caller ASKED for, before clamping to the member count.
+  uint32_t requested_replication_factor() const { return requested_; }
+
+  /// True when the requested rf exceeded the member count and was clamped.
+  bool clamped() const { return requested_ > replication_; }
 
   /// Node holding replica `replica` of `partition`. Replica 0 is the
   /// primary — identical to the unreplicated placement.
   sim::NodeId ReplicaNode(uint32_t partition, uint32_t replica) const {
     LH_CHECK(replica < replication_);
-    return static_cast<sim::NodeId>((partition + replica) % num_nodes_);
+    return members_[(partition + replica) % members_.size()];
   }
 
   sim::NodeId PrimaryNode(uint32_t partition) const {
@@ -63,20 +98,166 @@ class PlacementMap {
   /// holds no copy.
   std::optional<uint32_t> ReplicaOnNode(uint32_t partition,
                                         sim::NodeId node) const {
-    const uint32_t r =
-        (node + num_nodes_ - (partition % num_nodes_)) % num_nodes_;
-    if (r < replication_) return r;
+    const uint32_t m = static_cast<uint32_t>(members_.size());
+    for (uint32_t i = 0; i < m; ++i) {
+      if (members_[i] != node) continue;
+      const uint32_t r = (i + m - partition % m) % m;
+      if (r < replication_) return r;
+      return std::nullopt;
+    }
     return std::nullopt;
   }
 
- private:
-  static uint32_t Clamp(uint32_t rf, uint32_t num_nodes) {
-    if (rf < 1) return 1;
-    return rf > num_nodes ? num_nodes : rf;
+  bool SameMembersAndRf(const PlacementMap& other) const {
+    return members_ == other.members_ && replication_ == other.replication_;
   }
 
-  uint32_t num_nodes_;
+ private:
+  std::vector<sim::NodeId> members_;
+  uint32_t requested_;
   uint32_t replication_;
+};
+
+/// One partition's copy work in a rebalance: pull a copy from any live
+/// `source` (old replica set, primary first) onto every `target` (new
+/// replica nodes that do not already hold a copy).
+struct PartitionMove {
+  uint32_t partition = 0;
+  std::vector<sim::NodeId> sources;
+  std::vector<sim::NodeId> targets;
+};
+
+/// The old→new delta BeginTransition hands to the rebalancer. Partitions
+/// whose new replica set needs no new copies are flipped immediately and
+/// counted in `partitions_unchanged`.
+struct MigrationPlan {
+  std::vector<PartitionMove> moves;
+  uint32_t partitions_total = 0;
+  uint32_t partitions_unchanged = 0;
+};
+
+/// Which placement epoch served a replica read — for obs attribution.
+enum class ReadEpoch { kSteady, kOldEpoch, kNewEpoch };
+
+/// Versioned placement epochs for one File. Steady state serves from a
+/// single immutable PlacementMap. During a rebalance the manager holds the
+/// pair (previous = serving, current = target) plus one atomic flip bit per
+/// partition:
+///
+///   - unflipped partition  → previous replicas only (the new copy is
+///     still incomplete);
+///   - flipped, pre-commit  → current replicas first, previous replicas
+///     appended as a failover tail (the old copy is retained until commit,
+///     so a brand-new replica's outage never loses availability);
+///   - committed            → current replicas only (old copies released).
+///
+/// Readers take ONE atomic pointer load per resolution and see a fully
+/// consistent snapshot; transitions swap in a fresh immutable state.
+/// Retired states are kept alive for the manager's lifetime (transitions
+/// are rare), which is what makes the raw pointer loads safe without
+/// hazard tracking.
+///
+/// Broadcast ownership is special: a broadcast tuple fanned out to every
+/// node must be resolved by EXACTLY one owner per partition even when a
+/// commit races the job. Executors stamp `Cluster::placement_epoch()` on
+/// tuples at fan-out; BroadcastOwner() resolves stamps older than the last
+/// commit against the retired map, so all nodes of one job agree on
+/// ownership regardless of where the commit landed relative to each node's
+/// work. (One retired generation is kept; back-to-back rebalances faster
+/// than a job's lifetime are out of scope.)
+class PlacementManager {
+ public:
+  explicit PlacementManager(PlacementMap initial);
+  ~PlacementManager() = default;
+  LH_DISALLOW_COPY_AND_ASSIGN(PlacementManager);
+
+  /// --- lock-free read path -------------------------------------------
+
+  /// Number of replica slots a reader may try for `partition` right now
+  /// (old + new sets during the post-flip window).
+  uint32_t ReplicaCountFor(uint32_t partition) const;
+
+  /// Node serving replica slot `replica` of `partition` (see class comment
+  /// for the old-or-new order). `replica` is folded into the currently
+  /// valid range, so a racing flip/abort never turns into an out-of-range
+  /// crash — callers iterate [0, ReplicaCountFor(p)).
+  sim::NodeId ReplicaNode(uint32_t partition, uint32_t replica) const;
+
+  /// Serving primary: replica slot 0.
+  sim::NodeId PrimaryNode(uint32_t partition) const {
+    return ReplicaNode(partition, 0);
+  }
+
+  /// Epoch attribution of a read against replica slot `replica`.
+  ReadEpoch AttributeRead(uint32_t partition, uint32_t replica) const;
+
+  /// Lowest live replica slot, or nullopt when every holder is down.
+  std::optional<uint32_t> FirstLiveReplica(const sim::Cluster& cluster,
+                                           uint32_t partition) const;
+
+  /// The node owning broadcast resolution of `partition` for a tuple
+  /// stamped with `fanout_epoch` (kEpochCurrent = live). During a
+  /// rebalance the OLD primary owns every partition until commit.
+  sim::NodeId BroadcastOwner(uint32_t partition, uint64_t fanout_epoch) const;
+
+  /// Copy of the current TARGET map (steady state: the serving map).
+  PlacementMap Snapshot() const;
+
+  uint32_t replication_factor() const;
+  bool rebalancing() const;
+
+  /// --- transitions (serialized internally) ---------------------------
+
+  /// Replace the placement outright — only valid while NOT rebalancing
+  /// (load-time SetReplicationFactor).
+  void Reset(PlacementMap map);
+
+  /// Start a rebalance toward `next`. Computes the per-partition plan over
+  /// `num_partitions`, immediately flips partitions needing no copies, and
+  /// switches the read path to old-or-new resolution. Fails when a
+  /// transition is already in flight.
+  StatusOr<MigrationPlan> BeginTransition(PlacementMap next,
+                                          uint32_t num_partitions);
+
+  /// Flip one drained partition to the new epoch (its copies are in
+  /// place). Idempotent.
+  void MarkPartitionMigrated(uint32_t partition);
+
+  bool PartitionMigrated(uint32_t partition) const;
+
+  /// Finish the rebalance: every partition must be flipped. Old copies are
+  /// released; tuples stamped with an epoch < `serving_epoch` keep
+  /// resolving broadcasts against the retired map.
+  Status CommitTransition(uint64_t serving_epoch);
+
+  /// Roll back to the previous map (failed rebalance). Old copies were
+  /// retained throughout, so this is always safe; flipped partitions
+  /// simply resume serving from the old set.
+  void AbortTransition();
+
+ private:
+  struct State {
+    std::shared_ptr<const PlacementMap> current;   // target (serving when
+                                                   // not rebalancing)
+    std::shared_ptr<const PlacementMap> previous;  // serving set during a
+                                                   // rebalance; null otherwise
+    std::shared_ptr<const PlacementMap> retired;   // last pre-commit map, for
+                                                   // stamped broadcasts
+    std::unique_ptr<std::atomic<uint32_t>[]> migrated;
+    uint32_t num_partitions = 0;
+    /// Tuples stamped with fanout_epoch < commit_epoch resolve broadcasts
+    /// against `retired`.
+    uint64_t commit_epoch = 0;
+  };
+
+  const State& state() const {
+    return *state_.load(std::memory_order_acquire);
+  }
+  void Publish(std::unique_ptr<State> next);
+
+  std::atomic<const State*> state_{nullptr};
+  mutable std::mutex mutex_;  // transitions + graveyard
+  std::vector<std::unique_ptr<State>> graveyard_;
 };
 
 }  // namespace lakeharbor::io

@@ -1,0 +1,439 @@
+#include "io/rebalancer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "rede/job.h"
+#include "rede/stage_function.h"
+
+namespace lakeharbor::io {
+
+bool RateLimiter::Acquire(uint64_t bytes, CancelToken* cancel) {
+  if (bytes_per_sec_ == 0 || bytes == 0) return true;
+  int64_t wait_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t now_us = NowMicros();
+    if (next_free_us_ < now_us) next_free_us_ = now_us;
+    wait_us = next_free_us_ - now_us;
+    next_free_us_ += static_cast<int64_t>(bytes * 1000000 / bytes_per_sec_);
+  }
+  if (wait_us <= 0) return true;
+  if (cancel != nullptr) {
+    return !cancel->WaitFor(static_cast<uint64_t>(wait_us));
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+  return true;
+}
+
+int64_t RateLimiter::TryAcquire(uint64_t bytes) {
+  if (bytes_per_sec_ == 0 || bytes == 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now_us = NowMicros();
+  if (next_free_us_ < now_us) next_free_us_ = now_us;
+  const int64_t wait_us = next_free_us_ - now_us;
+  if (wait_us > 0) return wait_us;  // denied: nothing charged
+  next_free_us_ += static_cast<int64_t>(bytes * 1000000 / bytes_per_sec_);
+  return 0;
+}
+
+namespace {
+
+constexpr sim::NodeId kNoSource = UINT32_MAX;
+
+/// Shared state of one partition's copy work, OUTSIDE the job so a
+/// resubmitted job resumes from the recorded per-target offsets instead of
+/// re-charging writes a previous attempt already applied.
+struct PartitionCopyTask {
+  sim::Cluster* cluster = nullptr;
+  PartitionMove move;
+  uint64_t partition_bytes = 0;
+  uint64_t chunk_bytes = 0;
+  RetryPolicy retry;
+  RateLimiter* limiter = nullptr;
+  /// The rebalance-wide token: throttle waits and retry backoffs block on
+  /// it so Rebalancer::Cancel stops copies within one quantum.
+  CancelToken* rebalance_cancel = nullptr;
+  RebalanceProgress* progress = nullptr;
+  /// Bytes durably copied per target (index-aligned with move.targets).
+  std::unique_ptr<std::atomic<uint64_t>[]> offsets;
+  /// Set when the last run returned early because the rate budget ran dry;
+  /// `yield_wait_us` is how long until the bucket frees. The driver waits
+  /// that out off-scheduler and resubmits, and the resumed run continues
+  /// from the recorded offsets.
+  std::atomic<bool> yielded{false};
+  std::atomic<int64_t> yield_wait_us{0};
+
+  /// Pull-model chunked copy: for each chunk the target charges one
+  /// sequential read at a live old-replica source (disk + transfer) and one
+  /// replicated write to itself. Chunks retry transient faults and fail
+  /// over to the next live source; the offset only advances after BOTH
+  /// charges succeeded, so a failed chunk is redone wholesale and a
+  /// finished one is never duplicated.
+  Status Run(const rede::ExecContext& ctx) {
+    for (size_t t = 0; t < move.targets.size(); ++t) {
+      const sim::NodeId target = move.targets[t];
+      uint64_t offset = offsets[t].load(std::memory_order_acquire);
+      sim::NodeId last_source = kNoSource;
+      while (offset < partition_bytes) {
+        if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+          return ctx.cancel->cause();
+        }
+        if (rebalance_cancel->cancelled()) return rebalance_cancel->cause();
+        const uint64_t chunk =
+            std::min(chunk_bytes, partition_bytes - offset);
+        if (limiter != nullptr) {
+          // Out of budget: yield instead of sleeping here — a sleeping job
+          // would park its execution slot and migration io tokens for the
+          // whole wait, starving foreground work of exactly the resources
+          // the throttle is meant to protect.
+          const int64_t wait_us = limiter->TryAcquire(chunk);
+          if (wait_us > 0) {
+            yielded.store(true, std::memory_order_relaxed);
+            yield_wait_us.store(wait_us, std::memory_order_relaxed);
+            progress->throttle_yields.fetch_add(1, std::memory_order_relaxed);
+            return Status::OK();
+          }
+        }
+        Status status = RunWithRetry(
+            retry,
+            [&]() -> Status {
+              sim::NodeId source = kNoSource;
+              for (sim::NodeId candidate : move.sources) {
+                if (!cluster->NodeIsDown(candidate)) {
+                  source = candidate;
+                  break;
+                }
+              }
+              if (source == kNoSource) {
+                return Status::Unavailable(
+                    "no live source replica for partition " +
+                    std::to_string(move.partition));
+              }
+              if (last_source != kNoSource && source != last_source) {
+                progress->source_failovers.fetch_add(
+                    1, std::memory_order_relaxed);
+              }
+              last_source = source;
+              LH_RETURN_NOT_OK(
+                  cluster->ChargeSequentialRead(target, source, chunk));
+              return cluster->ChargeReplicatedWrite(
+                  target, {target}, static_cast<size_t>(chunk));
+            },
+            [&](size_t, uint64_t) {
+              progress->chunk_retries.fetch_add(1, std::memory_order_relaxed);
+            },
+            rebalance_cancel,
+            (static_cast<uint64_t>(move.partition) << 32) ^
+                static_cast<uint64_t>(target) ^ offset);
+        if (!status.ok()) {
+          return status.WithContext(
+              "copy of partition " + std::to_string(move.partition) +
+              " to node " + std::to_string(target) + " stalled at byte " +
+              std::to_string(offset) + "/" +
+              std::to_string(partition_bytes));
+        }
+        offset += chunk;
+        offsets[t].store(offset, std::memory_order_release);
+        progress->bytes_copied.fetch_add(chunk, std::memory_order_relaxed);
+        progress->chunks_copied.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// The migration work as a ReDe stage: a partition-pruning Dereferencer
+/// (WantsBroadcast = false, keyed initial pointer) that runs as exactly one
+/// task, so a migration job flows through the scheduler and executor like
+/// any other job — same slots, tokens, cancellation, and metrics.
+class PartitionMigrationStage final : public rede::Dereferencer {
+ public:
+  PartitionMigrationStage(std::string name,
+                          std::shared_ptr<PartitionCopyTask> task)
+      : rede::Dereferencer(std::move(name)), task_(std::move(task)) {}
+
+  bool WantsBroadcast() const override { return false; }
+
+  Status Execute(const rede::ExecContext& ctx, const rede::Tuple& /*input*/,
+                 std::vector<rede::Tuple>* /*out*/) const override {
+    return task_->Run(ctx);
+  }
+
+ private:
+  std::shared_ptr<PartitionCopyTask> task_;
+};
+
+/// One moved partition in flight through the scheduler. `job` is heap-held
+/// because the scheduler keeps a raw pointer to it until completion.
+struct PendingMove {
+  uint32_t partition = 0;
+  std::shared_ptr<PartitionCopyTask> task;
+  std::unique_ptr<rede::Job> job;
+  sched::JobHandlePtr handle;
+  size_t attempts = 0;
+  int64_t first_submit_us = 0;
+};
+
+}  // namespace
+
+Rebalancer::Rebalancer(sim::Cluster* cluster, sched::JobScheduler* scheduler,
+                       RebalanceOptions options)
+    : cluster_(cluster),
+      scheduler_(scheduler),
+      options_(std::move(options)),
+      limiter_(options_.throttle_bytes_per_sec) {
+  LH_CHECK(cluster_ != nullptr);
+  LH_CHECK(scheduler_ != nullptr);
+  LH_CHECK_MSG(options_.copy_chunk_bytes > 0,
+               "rebalancer needs a nonzero copy chunk");
+  LH_CHECK_MSG(options_.max_concurrent_migrations > 0,
+               "rebalancer needs at least one concurrent migration");
+  LH_CHECK_MSG(options_.max_partition_attempts > 0,
+               "rebalancer needs at least one attempt per partition");
+}
+
+void Rebalancer::RegisterFile(File* file) {
+  LH_CHECK(file != nullptr);
+  files_.push_back(file);
+}
+
+StatusOr<sim::NodeId> Rebalancer::AddNodeAndRebalance() {
+  LH_ASSIGN_OR_RETURN(sim::NodeId id, cluster_->AddNode());
+  StatusOr<RebalanceReport> report =
+      RebalanceToMembers(cluster_->ActiveNodeIds());
+  if (!report.ok()) {
+    return report.status().WithContext(
+        "node " + std::to_string(id) +
+        " joined but the rebalance onto it failed (placements rolled back)");
+  }
+  last_report_ = std::move(report).value();
+  return id;
+}
+
+Status Rebalancer::RemoveNodeAndRebalance(sim::NodeId id) {
+  if (id >= cluster_->num_nodes() || cluster_->NodeIsRemoved(id)) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is not an active cluster member");
+  }
+  std::vector<sim::NodeId> members;
+  for (sim::NodeId node : cluster_->ActiveNodeIds()) {
+    if (node != id) members.push_back(node);
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument(
+        "refusing to drain the last active node " + std::to_string(id));
+  }
+  // Drain first: the node keeps serving (and acts as a copy source) while
+  // its partitions move away; only a fully committed rebalance removes it.
+  LH_ASSIGN_OR_RETURN(RebalanceReport report, RebalanceToMembers(members));
+  last_report_ = std::move(report);
+  return cluster_->RemoveNode(id);
+}
+
+StatusOr<RebalanceReport> Rebalancer::RebalanceToActiveMembers() {
+  LH_ASSIGN_OR_RETURN(RebalanceReport report,
+                      RebalanceToMembers(cluster_->ActiveNodeIds()));
+  last_report_ = report;
+  return report;
+}
+
+StatusOr<RebalanceReport> Rebalancer::RebalanceToMembers(
+    const std::vector<sim::NodeId>& members) {
+  cancel_.Reset();
+  progress_.Reset();
+  StopWatch watch;
+  RebalanceReport report;
+  obs::LatencyHistogram copy_hist;
+  for (File* file : files_) {
+    LH_RETURN_NOT_OK(RebalanceFile(file, members, &report, &copy_hist));
+  }
+  report.bytes_copied = progress_.bytes_copied.load(std::memory_order_relaxed);
+  report.chunks_copied =
+      progress_.chunks_copied.load(std::memory_order_relaxed);
+  report.chunk_retries =
+      progress_.chunk_retries.load(std::memory_order_relaxed);
+  report.source_failovers =
+      progress_.source_failovers.load(std::memory_order_relaxed);
+  report.job_resubmissions =
+      progress_.job_resubmissions.load(std::memory_order_relaxed);
+  report.throttle_yields =
+      progress_.throttle_yields.load(std::memory_order_relaxed);
+  report.elapsed_ms = static_cast<uint64_t>(watch.ElapsedMillis());
+  report.partition_copy_us = copy_hist.Snapshot();
+  return report;
+}
+
+Status Rebalancer::RebalanceFile(File* file,
+                                 const std::vector<sim::NodeId>& members,
+                                 RebalanceReport* report,
+                                 obs::LatencyHistogram* copy_hist) {
+  PlacementManager& manager = file->placement_manager();
+  const PlacementMap current = manager.Snapshot();
+  // Rebalance toward the REQUESTED rf: a file whose rf was clamped on a
+  // small cluster regains its full replication once enough members exist.
+  PlacementMap next(members, current.requested_replication_factor());
+  if (next.SameMembersAndRf(current)) return Status::OK();
+  LH_ASSIGN_OR_RETURN(
+      MigrationPlan plan,
+      manager.BeginTransition(std::move(next), file->num_partitions()));
+  report->partitions_unchanged += plan.partitions_unchanged;
+  progress_.partitions_total.fetch_add(plan.moves.size(),
+                                       std::memory_order_relaxed);
+  Status run = RunMoves(file, plan, report, copy_hist);
+  if (!run.ok()) {
+    manager.AbortTransition();
+    return run.WithContext("rebalance of file '" + file->name() +
+                           "' aborted; placement rolled back");
+  }
+  // Commit BEFORE advancing the cluster epoch: tuples stamped with the
+  // pre-advance epoch must compare < commit_epoch and resolve broadcasts
+  // against the retired map (see PlacementManager::BroadcastOwner).
+  const uint64_t serving_epoch = cluster_->placement_epoch() + 1;
+  LH_RETURN_NOT_OK(manager.CommitTransition(serving_epoch));
+  cluster_->AdvancePlacementEpoch();
+  report->committed_epoch = serving_epoch;
+  report->partitions_moved += plan.moves.size();
+  LH_LOG_INFO << "rebalance: file '" << file->name() << "' committed epoch "
+              << serving_epoch << " (" << plan.moves.size() << " moved, "
+              << plan.partitions_unchanged << " unchanged)";
+  return Status::OK();
+}
+
+Status Rebalancer::RunMoves(File* file, const MigrationPlan& plan,
+                            RebalanceReport* /*report*/,
+                            obs::LatencyHistogram* copy_hist) {
+  PlacementManager& manager = file->placement_manager();
+  std::deque<PendingMove> waiting;
+  for (const PartitionMove& move : plan.moves) {
+    auto task = std::make_shared<PartitionCopyTask>();
+    task->cluster = cluster_;
+    task->move = move;
+    task->partition_bytes = file->PartitionBytes(move.partition);
+    task->chunk_bytes = options_.copy_chunk_bytes;
+    task->retry = options_.retry;
+    task->limiter = &limiter_;
+    task->rebalance_cancel = &cancel_;
+    task->progress = &progress_;
+    task->offsets =
+        std::make_unique<std::atomic<uint64_t>[]>(move.targets.size());
+    for (size_t t = 0; t < move.targets.size(); ++t) {
+      task->offsets[t].store(0, std::memory_order_relaxed);
+    }
+    const std::string label =
+        file->name() + "/p" + std::to_string(move.partition);
+    rede::JobBuilder builder("migrate/" + label);
+    builder.Initial(
+        rede::Tuple::Point(Pointer::Keyed("migrate-" + label)));
+    builder.Add(std::make_shared<PartitionMigrationStage>("copy/" + label,
+                                                          task));
+    LH_ASSIGN_OR_RETURN(rede::Job job, builder.Build());
+    PendingMove pending;
+    pending.partition = move.partition;
+    pending.task = std::move(task);
+    pending.job = std::make_unique<rede::Job>(std::move(job));
+    waiting.push_back(std::move(pending));
+  }
+
+  // Bounded-outstanding driver: keep at most max_concurrent_migrations
+  // jobs in the scheduler, completing them oldest-first. Failed partition
+  // jobs are resubmitted (their copy tasks resume from recorded offsets)
+  // up to max_partition_attempts submissions.
+  std::deque<PendingMove> outstanding;
+  auto drain_outstanding = [&](const Status& cause) {
+    for (PendingMove& pending : outstanding) {
+      pending.handle->Cancel(cause);
+      StatusOr<rede::JobResult> joined = pending.handle->Wait();
+      (void)joined;  // outcome no longer matters, only the join
+    }
+    outstanding.clear();
+  };
+  while (!waiting.empty() || !outstanding.empty()) {
+    if (cancel_.cancelled()) {
+      drain_outstanding(cancel_.cause());
+      return cancel_.cause();
+    }
+    while (!waiting.empty() &&
+           outstanding.size() < options_.max_concurrent_migrations) {
+      PendingMove pending = std::move(waiting.front());
+      waiting.pop_front();
+      sched::JobSpec spec;
+      spec.tenant = options_.tenant;
+      spec.job_class = sched::JobClass::kMigration;
+      StatusOr<sched::JobHandlePtr> submitted =
+          scheduler_->Submit(*pending.job, std::move(spec));
+      if (!submitted.ok()) {
+        if (submitted.status().IsResourceExhausted()) {
+          // Admission control pushed back. Let an outstanding job finish
+          // (or idle briefly when none is) and try again.
+          waiting.push_front(std::move(pending));
+          if (outstanding.empty() && cancel_.WaitFor(1000)) {
+            return cancel_.cause();
+          }
+          break;
+        }
+        drain_outstanding(submitted.status());
+        return submitted.status().WithContext(
+            "submitting migration of partition " +
+            std::to_string(pending.partition));
+      }
+      pending.handle = std::move(submitted).value();
+      ++pending.attempts;
+      if (pending.first_submit_us == 0) pending.first_submit_us = NowMicros();
+      outstanding.push_back(std::move(pending));
+    }
+    if (outstanding.empty()) continue;
+    PendingMove pending = std::move(outstanding.front());
+    outstanding.pop_front();
+    StatusOr<rede::JobResult> result = pending.handle->Wait();
+    if (result.ok() && pending.task->yielded.exchange(false)) {
+      // The copy ran out of rate budget and released its scheduler
+      // resources. Wait the deficit out here (holding nothing), then
+      // resubmit to resume from the recorded offsets. Yields are normal
+      // throttle operation, not failed attempts.
+      --pending.attempts;
+      const int64_t wait_us =
+          pending.task->yield_wait_us.load(std::memory_order_relaxed);
+      if (wait_us > 0 && cancel_.WaitFor(static_cast<uint64_t>(wait_us))) {
+        drain_outstanding(cancel_.cause());
+        return cancel_.cause();
+      }
+      pending.handle.reset();
+      waiting.push_back(std::move(pending));
+      continue;
+    }
+    if (result.ok()) {
+      // All copies of this partition landed: flip its epoch — queries now
+      // serve it from the new replicas with the old set as failover tail.
+      manager.MarkPartitionMigrated(pending.partition);
+      progress_.partitions_done.fetch_add(1, std::memory_order_relaxed);
+      const int64_t now_us = NowMicros();
+      if (now_us > pending.first_submit_us) {
+        copy_hist->Record(
+            static_cast<uint64_t>(now_us - pending.first_submit_us));
+      }
+      continue;
+    }
+    if (pending.attempts >= options_.max_partition_attempts) {
+      drain_outstanding(result.status());
+      return result.status().WithContext(
+          "migration of partition " + std::to_string(pending.partition) +
+          " failed after " + std::to_string(pending.attempts) +
+          " submissions");
+    }
+    LH_LOG_WARN << "rebalance: migration of partition " << pending.partition
+                << " failed (attempt " << pending.attempts << "): "
+                << result.status().ToString() << "; resubmitting";
+    progress_.job_resubmissions.fetch_add(1, std::memory_order_relaxed);
+    pending.handle.reset();
+    waiting.push_back(std::move(pending));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeharbor::io

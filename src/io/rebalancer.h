@@ -1,0 +1,207 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/macros.h"
+#include "common/retry.h"
+#include "common/status_or.h"
+#include "io/file.h"
+#include "io/placement.h"
+#include "obs/histogram.h"
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+
+/// \file rebalancer.h
+/// Online partition rebalancing for elastic cluster membership (ISSUE 7
+/// tentpole). A node join or drain-first decommission produces, per
+/// registered File, an old→new PlacementMap pair (PlacementManager::
+/// BeginTransition) plus a per-partition migration plan; the Rebalancer
+/// then drives one background copy job per moved partition through the
+/// multi-tenant sched::JobScheduler as the low-priority kMigration class,
+/// so foreground point lookups and scans keep their fair share of the
+/// execution slots and disk tokens while data moves.
+///
+/// Each copy is throttled by a shared byte-rate leaky bucket — a job out
+/// of budget YIELDS (returns, releasing its execution slot and disk
+/// tokens) and is resubmitted once the deficit elapses, so a tightly
+/// throttled rebalance parks no scheduler resources while it waits — and
+/// is chunked and fault-tolerant: chunks retry transient device faults
+/// under RetryPolicy,
+/// fail over to the next live old replica when the source node goes down
+/// mid-move, and record per-(partition, target) byte offsets so a
+/// resubmitted job RESUMES instead of re-charging writes already applied
+/// (exactly-once with respect to ChargeReplicatedWrite). A partition whose
+/// copies all landed flips its epoch atomically — queries immediately
+/// serve it from the new replicas with the old set as failover tail — and
+/// when every partition has flipped the transition commits and the old
+/// copies are released.
+
+namespace lakeharbor::io {
+
+/// Leaky-bucket byte throttle shared by all concurrent migration copies.
+/// Acquire blocks until the requested bytes fit under the configured rate;
+/// the wait is cancellable so an aborted rebalance stops within one
+/// quantum. Thread-safe.
+class RateLimiter {
+ public:
+  /// bytes_per_sec == 0 disables throttling (Acquire returns immediately).
+  explicit RateLimiter(uint64_t bytes_per_sec)
+      : bytes_per_sec_(bytes_per_sec) {}
+  LH_DISALLOW_COPY_AND_ASSIGN(RateLimiter);
+
+  /// Returns false when `cancel` flipped while waiting.
+  bool Acquire(uint64_t bytes, CancelToken* cancel);
+
+  /// Non-blocking variant: charges `bytes` and returns 0 when the budget
+  /// admits them now, otherwise returns the microseconds until the bucket
+  /// frees WITHOUT charging. Lets a copy job yield its scheduler slot and
+  /// disk tokens for the wait instead of sleeping while holding them.
+  int64_t TryAcquire(uint64_t bytes);
+
+ private:
+  const uint64_t bytes_per_sec_;
+  std::mutex mutex_;
+  int64_t next_free_us_ = 0;
+};
+
+struct RebalanceOptions {
+  /// Outstanding migration jobs in the scheduler at once. Together with
+  /// the scheduler's migration_io_tokens this bounds how many disk slots
+  /// background copies can ever hold.
+  size_t max_concurrent_migrations = 4;
+
+  /// Shared copy-rate budget across all concurrent moves (0 = unthrottled).
+  uint64_t throttle_bytes_per_sec = 0;
+
+  /// Bytes per copy chunk — the resume granularity: offsets advance (and
+  /// are never re-charged) in units of this.
+  uint64_t copy_chunk_bytes = 1 << 20;
+
+  /// Per-chunk retry of transient device faults (kIoError / kUnavailable).
+  RetryPolicy retry;
+
+  /// Submissions of one partition's copy job before the rebalance gives up
+  /// and aborts (progress is kept across resubmissions).
+  size_t max_partition_attempts = 3;
+
+  /// Tenant the migration jobs are accounted to.
+  std::string tenant = "system-rebalance";
+
+  RebalanceOptions() {
+    retry.max_retries = 4;
+    retry.backoff_initial_us = 50;
+    retry.backoff_max_us = 2000;
+    retry.jitter = 0.5;
+  }
+};
+
+/// Live counters of the rebalance in flight (readable from other threads).
+struct RebalanceProgress {
+  std::atomic<uint64_t> partitions_total{0};
+  std::atomic<uint64_t> partitions_done{0};
+  std::atomic<uint64_t> bytes_copied{0};
+  std::atomic<uint64_t> chunks_copied{0};
+  std::atomic<uint64_t> chunk_retries{0};
+  std::atomic<uint64_t> source_failovers{0};
+  std::atomic<uint64_t> job_resubmissions{0};
+  /// Copy jobs that returned early because the rate budget ran dry and
+  /// were resubmitted after the deficit elapsed (holding no scheduler
+  /// resources in between). Not failures and not counted as attempts.
+  std::atomic<uint64_t> throttle_yields{0};
+
+  void Reset() {
+    partitions_total.store(0);
+    partitions_done.store(0);
+    bytes_copied.store(0);
+    chunks_copied.store(0);
+    chunk_retries.store(0);
+    source_failovers.store(0);
+    job_resubmissions.store(0);
+    throttle_yields.store(0);
+  }
+};
+
+/// Summary of one completed rebalance.
+struct RebalanceReport {
+  uint64_t partitions_moved = 0;
+  uint64_t partitions_unchanged = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t chunks_copied = 0;
+  uint64_t chunk_retries = 0;
+  uint64_t source_failovers = 0;
+  uint64_t job_resubmissions = 0;
+  uint64_t throttle_yields = 0;
+  /// Cluster placement epoch after the last file committed.
+  uint64_t committed_epoch = 0;
+  uint64_t elapsed_ms = 0;
+  /// Submit-to-flip latency of each moved partition's copy job.
+  obs::HistogramSnapshot partition_copy_us;
+};
+
+/// Drives membership changes end to end. Not thread-safe for concurrent
+/// membership operations (one rebalance at a time); Cancel() and
+/// progress() may be called from any thread while one runs.
+class Rebalancer {
+ public:
+  Rebalancer(sim::Cluster* cluster, sched::JobScheduler* scheduler,
+             RebalanceOptions options);
+  LH_DISALLOW_COPY_AND_ASSIGN(Rebalancer);
+
+  /// Files whose placements this rebalancer manages. Register every
+  /// replicated file BEFORE the first membership change; files must
+  /// outlive the rebalancer.
+  void RegisterFile(File* file);
+
+  /// Bring one new node online and spread existing partitions onto it:
+  /// AddNode, then rebalance every registered file onto the new active
+  /// member set. Returns the new node's id. On rebalance failure the
+  /// transitions are aborted (placements roll back; the node stays
+  /// registered but empty) and the error is returned.
+  StatusOr<sim::NodeId> AddNodeAndRebalance();
+
+  /// Drain-first decommission: rebalance every registered file onto the
+  /// active member set WITHOUT `id` (the node keeps serving reads as a
+  /// copy source throughout), then RemoveNode(id). On failure the node is
+  /// NOT removed.
+  Status RemoveNodeAndRebalance(sim::NodeId id);
+
+  /// Re-spread every registered file across the current active member set
+  /// (e.g. after AddNode was called directly on the cluster). Files whose
+  /// placement already matches are skipped.
+  StatusOr<RebalanceReport> RebalanceToActiveMembers();
+
+  /// Abort the rebalance in flight from any thread: copy loops stop within
+  /// one chunk/backoff quantum and the driver rolls the transitions back.
+  void Cancel(Status cause) { cancel_.Cancel(std::move(cause)); }
+
+  const RebalanceProgress& progress() const { return progress_; }
+  const RebalanceOptions& options() const { return options_; }
+
+  /// Report of the most recently completed rebalance (empty before one).
+  const RebalanceReport& last_report() const { return last_report_; }
+
+ private:
+  StatusOr<RebalanceReport> RebalanceToMembers(
+      const std::vector<sim::NodeId>& members);
+  Status RebalanceFile(File* file, const std::vector<sim::NodeId>& members,
+                       RebalanceReport* report,
+                       obs::LatencyHistogram* copy_hist);
+  Status RunMoves(File* file, const MigrationPlan& plan,
+                  RebalanceReport* report, obs::LatencyHistogram* copy_hist);
+
+  sim::Cluster* cluster_;
+  sched::JobScheduler* scheduler_;
+  RebalanceOptions options_;
+  RateLimiter limiter_;
+  CancelToken cancel_;
+  RebalanceProgress progress_;
+  RebalanceReport last_report_;
+  std::vector<File*> files_;
+};
+
+}  // namespace lakeharbor::io

@@ -69,7 +69,10 @@ void RecordFailoverSpan(const ExecContext& ctx, uint32_t replica,
 template <typename ReadFn>
 Status ReadWithFailover(const ExecContext& ctx, const io::File& file,
                         uint32_t partition, const ReadFn& read) {
-  const uint32_t rf = file.replication_factor();
+  // Per-PARTITION slot count, not the file-level rf: during a rebalance a
+  // flipped partition exposes new replicas first with the old set appended
+  // as a failover tail (old-or-new reads; see io::PlacementManager).
+  const uint32_t rf = file.ReplicaCountFor(partition);
   if (rf <= 1 || ctx.cluster == nullptr) return read(0);
   Status last;
   bool attempted = false;
@@ -169,7 +172,11 @@ class PointDereferencer final : public Dereferencer {
                                     ? ctx.node
                                     : input.resolve_owner;
       for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
-        if (input.resolve_local && file_->NodeOfPartition(p) != owner) {
+        // Ownership is resolved against the tuple's fan-out epoch so a
+        // rebalance commit racing this job cannot duplicate or drop a
+        // partition across nodes.
+        if (input.resolve_local &&
+            file_->BroadcastOwner(p, input.resolve_epoch) != owner) {
           continue;
         }
         if (bloom_ != nullptr &&
@@ -353,7 +360,7 @@ class PointDereferencer final : public Dereferencer {
                                       uint32_t partition,
                                       const std::string& key,
                                       std::vector<io::Record>* read) const {
-    const uint32_t rf = file_->replication_factor();
+    const uint32_t rf = file_->ReplicaCountFor(partition);
     if (rf < 2 || ctx.cluster == nullptr) return std::nullopt;
     uint32_t live[2] = {0, 0};
     uint32_t n = 0;
@@ -497,7 +504,8 @@ class RangeDereferencer final : public Dereferencer {
                                     ? ctx.node
                                     : input.resolve_owner;
       for (uint32_t p = 0; p < file_->num_partitions(); ++p) {
-        if (input.resolve_local && file_->NodeOfPartition(p) != owner) {
+        if (input.resolve_local &&
+            file_->BroadcastOwner(p, input.resolve_epoch) != owner) {
           continue;
         }
         LH_RETURN_NOT_OK(range_with_failover(p));

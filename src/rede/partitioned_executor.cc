@@ -153,7 +153,10 @@ StatusOr<JobResult> PartitionedExecutor::Execute(const Job& job,
     shared.trace = recorder.get();
   }
 
-  const Tuple& initial = job.initial_input();
+  // Stamp the run's placement epoch so broadcast ownership stays coherent
+  // across a rebalance commit racing the run (same rule as SMPE fan-out).
+  Tuple initial = job.initial_input();
+  initial.resolve_epoch = cluster_->placement_epoch();
   std::vector<Status> statuses;
   if (!initial.resolve_local) {
     // Keyed (or partition-pruning) initial pointer: exactly one evaluation.

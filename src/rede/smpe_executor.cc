@@ -44,6 +44,18 @@ void RecordQueueWaitSpan(obs::TraceRecorder* trace, size_t stage,
 struct SmpeExecutor::RunState {
   const Job* job = nullptr;
   uint64_t job_id = 0;
+  /// Node count CAPTURED at Execute start. The run's queues, dispatchers
+  /// and broadcast fan-out all use this snapshot, never the live
+  /// cluster->num_nodes(): a node joining mid-run becomes visible to the
+  /// NEXT run, instead of indexing past this run's queues.
+  uint32_t num_nodes = 0;
+  /// Cluster placement epoch at Execute start, stamped on every broadcast
+  /// tuple at fan-out: all nodes of this run resolve broadcast ownership
+  /// against the same placement snapshot even when a rebalance commit
+  /// races the run.
+  uint64_t fanout_epoch = 0;
+  /// Stable per-node pool pointers for this run (threaded mode only).
+  std::vector<ThreadPool*> pools;
   /// Recorder of a sampled run, nullptr otherwise (the untraced fast path
   /// is this null check — no span work, no allocations).
   obs::TraceRecorder* trace = nullptr;
@@ -86,16 +98,24 @@ SmpeExecutor::SmpeExecutor(sim::Cluster* cluster, SmpeOptions options)
                "SMPE needs at least one thread per node");
   if (options_.deterministic_seed == 0) {
     // Seeded-schedule mode runs everything on the calling thread; pools
-    // would only sit idle.
-    pools_.reserve(cluster_->num_nodes());
-    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
-      pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node,
-                                                    &pool_dwell_));
-    }
+    // would only sit idle. Pools for nodes joining later are appended
+    // lazily by SnapshotPools at the start of their first run.
+    SnapshotPools(cluster_->num_nodes());
   }
   if (options_.cache.enabled) {
     cache_ = std::make_unique<RecordCache>(options_.cache);
   }
+}
+
+std::vector<ThreadPool*> SmpeExecutor::SnapshotPools(uint32_t num_nodes) {
+  std::lock_guard<std::mutex> lock(pools_mutex_);
+  while (pools_.size() < num_nodes) {
+    pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_node,
+                                                  &pool_dwell_));
+  }
+  std::vector<ThreadPool*> snapshot(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) snapshot[n] = pools_[n].get();
+  return snapshot;
 }
 
 SmpeExecutor::~SmpeExecutor() = default;
@@ -317,7 +337,7 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
       // destination fails the broadcast.
       state.metrics.broadcasts.fetch_add(1, std::memory_order_relaxed);
       const size_t bytes = ApproxTupleBytes(pending.tuple);
-      const sim::NodeId last = cluster_->num_nodes() - 1;
+      const sim::NodeId last = state.num_nodes - 1;
       const bool replicated = next_fn.TargetReplication() > 1;
       for (sim::NodeId m = 0; m <= last; ++m) {
         sim::NodeId dest = m;
@@ -351,6 +371,7 @@ void SmpeExecutor::Route(RunState& state, sim::NodeId node, size_t next_stage,
         Tuple copy = (m == last) ? std::move(pending.tuple) : pending.tuple;
         copy.resolve_local = true;
         copy.resolve_owner = owner;
+        copy.resolve_epoch = state.fanout_epoch;
         state.inflight.Add();
         if (!state.queues[dest]->Push(
                 Task{pending.stage, {std::move(copy)}, NowMicros()})) {
@@ -393,8 +414,9 @@ void SmpeExecutor::SeedInitial(RunState& state) const {
   // Seed: a broadcast initial input (the common case — e.g. a range over a
   // local secondary index; resolve_local was set by JobBuilder::Build)
   // starts on every node; a keyed or partition-pruning one is one task.
-  const uint32_t num_nodes = cluster_->num_nodes();
-  const Tuple& initial = state.job->initial_input();
+  const uint32_t num_nodes = state.num_nodes;
+  Tuple initial = state.job->initial_input();
+  initial.resolve_epoch = state.fanout_epoch;
   if (initial.resolve_local) {
     state.inflight.Add(num_nodes);
     for (uint32_t n = 0; n < num_nodes; ++n) {
@@ -404,7 +426,7 @@ void SmpeExecutor::SeedInitial(RunState& state) const {
     }
   } else {
     state.inflight.Add();
-    if (!state.queues[0]->Push(Task{0, {initial}, NowMicros()})) {
+    if (!state.queues[0]->Push(Task{0, {std::move(initial)}, NowMicros()})) {
       state.inflight.Done();
     }
   }
@@ -463,6 +485,8 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
     state.trace = recorder.get();
   }
   const uint32_t num_nodes = cluster_->num_nodes();
+  state.num_nodes = num_nodes;
+  state.fanout_epoch = cluster_->placement_epoch();
   state.queues.reserve(num_nodes);
   for (uint32_t n = 0; n < num_nodes; ++n) {
     state.queues.push_back(std::make_unique<MpmcQueue<Task>>());
@@ -473,6 +497,7 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
     RunDeterministic(state);
     for (auto& queue : state.queues) queue->Close();
   } else {
+    state.pools = SnapshotPools(num_nodes);
     // Dispatchers: one per node, handing queued tasks to the node's pool so
     // that executing a function never blocks dequeueing (Fig 6's model).
     std::vector<std::thread> dispatchers;
@@ -480,7 +505,7 @@ StatusOr<JobResult> SmpeExecutor::Execute(const Job& job,
     for (uint32_t n = 0; n < num_nodes; ++n) {
       dispatchers.emplace_back([this, &state, n] {
         while (auto task = state.queues[n]->Pop()) {
-          bool submitted = pools_[n]->Submit(
+          bool submitted = state.pools[n]->Submit(
               [this, &state, n, t = std::move(*task)]() mutable {
                 RunTask(state, n, std::move(t));
               });

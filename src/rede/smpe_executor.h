@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/retry.h"
@@ -141,11 +142,20 @@ class SmpeExecutor final : public Executor {
   /// Single-threaded seeded-schedule drain (deterministic_seed != 0).
   void RunDeterministic(RunState& state) const;
 
+  /// Stable per-node pool pointers for a run over `num_nodes` nodes,
+  /// lazily growing `pools_` when the cluster gained nodes since the last
+  /// run (elastic membership). Pools are only ever appended, never
+  /// destroyed, so the returned raw pointers stay valid for the run even
+  /// while a concurrent Execute grows the vector.
+  std::vector<ThreadPool*> SnapshotPools(uint32_t num_nodes);
+
   std::string name_ = "rede-smpe";
   sim::Cluster* cluster_;
   SmpeOptions options_;
   obs::LatencyHistogram pool_dwell_;  // must outlive pools_
-  std::vector<std::unique_ptr<ThreadPool>> pools_;  // one per node
+  /// One pool per node; guarded by pools_mutex_ for elastic growth.
+  mutable std::mutex pools_mutex_;
+  mutable std::vector<std::unique_ptr<ThreadPool>> pools_;
   std::unique_ptr<RecordCache> cache_;  // nullptr unless cache.enabled
   /// Monotonic Execute() counter driving per-job trace sampling.
   std::atomic<uint64_t> run_seq_{0};

@@ -37,6 +37,14 @@ struct Tuple {
   /// replica failover. Static ownership (primary holder, or its designated
   /// stand-in) is what keeps broadcast coverage exact under outages.
   uint32_t resolve_owner = kResolveOnSelf;
+  /// Placement epoch stamped by the executor at fan-out (the value of
+  /// Cluster::placement_epoch() when the tuple was created). Broadcast
+  /// ownership is resolved against this epoch's placement snapshot, so
+  /// every node of one job agrees on partition ownership even when a
+  /// rebalance commit races the run. UINT64_MAX (io::kEpochCurrent) means
+  /// "resolve against the live placement" — the default for direct stage
+  /// calls outside an executor.
+  uint64_t resolve_epoch = UINT64_MAX;
 
   /// Point-lookup tuple (empty bundle) for job initial inputs.
   static Tuple Point(io::Pointer ptr) {

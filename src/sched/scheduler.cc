@@ -14,6 +14,8 @@ const char* JobClassToString(JobClass job_class) {
       return "point-lookup";
     case JobClass::kAnalyticalScan:
       return "analytical-scan";
+    case JobClass::kMigration:
+      return "migration";
   }
   return "unknown";
 }
@@ -36,9 +38,18 @@ JobScheduler::JobScheduler(rede::Executor* executor, SchedulerOptions options)
 JobScheduler::~JobScheduler() { Shutdown(); }
 
 size_t JobScheduler::IoTokensFor(JobClass job_class) const {
-  size_t tokens = job_class == JobClass::kPointLookup
-                      ? options_.point_lookup_io_tokens
-                      : options_.analytical_scan_io_tokens;
+  size_t tokens = 0;
+  switch (job_class) {
+    case JobClass::kPointLookup:
+      tokens = options_.point_lookup_io_tokens;
+      break;
+    case JobClass::kAnalyticalScan:
+      tokens = options_.analytical_scan_io_tokens;
+      break;
+    case JobClass::kMigration:
+      tokens = options_.migration_io_tokens;
+      break;
+  }
   if (tokens == 0) tokens = 1;
   // A cost above the whole pool could never be satisfied; clamp instead of
   // deadlocking the class.
@@ -47,9 +58,18 @@ size_t JobScheduler::IoTokensFor(JobClass job_class) const {
 }
 
 double JobScheduler::WeightFor(JobClass job_class) const {
-  double weight = job_class == JobClass::kPointLookup
-                      ? options_.point_lookup_weight
-                      : options_.analytical_scan_weight;
+  double weight = 1.0;
+  switch (job_class) {
+    case JobClass::kPointLookup:
+      weight = options_.point_lookup_weight;
+      break;
+    case JobClass::kAnalyticalScan:
+      weight = options_.analytical_scan_weight;
+      break;
+    case JobClass::kMigration:
+      weight = options_.migration_weight;
+      break;
+  }
   return weight > 0.0 ? weight : 1.0;
 }
 
@@ -324,6 +344,22 @@ SchedulerStats JobScheduler::stats() const {
     s.per_class[c].queue_wait_us = per_class_[c].queue_wait_us.Snapshot();
     s.per_class[c].exec_us = per_class_[c].exec_us.Snapshot();
     s.per_class[c].total_us = per_class_[c].total_us.Snapshot();
+  }
+  // Per-flow backlog view: current depth and the age of the oldest queued
+  // job (flows are FIFO internally, so the front is the oldest).
+  const int64_t now_us = NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.flows.reserve(flows_.size());
+  for (const auto& [key, flow] : flows_) {
+    SchedulerStats::FlowStats fs;
+    fs.tenant = key.first;
+    fs.job_class = static_cast<JobClass>(key.second);
+    fs.queue_depth = flow.jobs.size();
+    if (!flow.jobs.empty() && now_us > flow.jobs.front().submit_us) {
+      fs.oldest_queued_age_us =
+          static_cast<uint64_t>(now_us - flow.jobs.front().submit_us);
+    }
+    s.flows.push_back(std::move(fs));
   }
   return s;
 }

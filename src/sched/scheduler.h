@@ -35,14 +35,18 @@
 
 namespace lakeharbor::sched {
 
-/// The two serving classes of the traffic mix (Q5'/claims analytics vs
-/// primary-key lookups). Classes pick weights and disk-slot costs; tenants
-/// within a class still get fair shares of the class's throughput.
+/// The serving classes of the traffic mix (Q5'/claims analytics vs
+/// primary-key lookups) plus the background migration class rebalancing
+/// rides on. Classes pick weights and disk-slot costs; tenants within a
+/// class still get fair shares of the class's throughput.
 enum class JobClass {
   kPointLookup = 0,
   kAnalyticalScan = 1,
+  /// Background partition copies issued by io::Rebalancer. Deliberately the
+  /// lightest weight: a rebalance must never starve foreground serving.
+  kMigration = 2,
 };
-inline constexpr size_t kNumJobClasses = 2;
+inline constexpr size_t kNumJobClasses = 3;
 
 const char* JobClassToString(JobClass job_class);
 
@@ -66,6 +70,9 @@ struct SchedulerOptions {
   /// scans are throughput work.
   double point_lookup_weight = 4.0;
   double analytical_scan_weight = 1.0;
+  /// Background partition migrations: smallest share by default so
+  /// rebalancing yields to any backlogged foreground flow.
+  double migration_weight = 0.5;
 
   /// Per-node disk slots: a pooled budget of concurrently dispatched I/O
   /// weight, gating dispatch (not Submit). A job must hold its class's
@@ -75,6 +82,8 @@ struct SchedulerOptions {
   size_t io_tokens = 0;
   size_t point_lookup_io_tokens = 1;
   size_t analytical_scan_io_tokens = 4;
+  /// Disk-slot cost of one migration job (a sequential partition copy).
+  size_t migration_io_tokens = 2;
 
   /// Deadline applied to jobs whose spec leaves deadline_ms == 0. Measured
   /// from Submit (queue time counts — serving semantics). 0 = none.
@@ -185,6 +194,17 @@ struct SchedulerStats {
     obs::HistogramSnapshot total_us;  ///< submit -> completion
   };
   PerClass per_class[kNumJobClasses];
+  /// Point-in-time view of one (tenant, class) flow's backlog: how many
+  /// jobs sit queued (not yet dispatched) and how long the oldest has been
+  /// waiting. Flows that have emptied still appear (depth 0, age 0) until
+  /// the scheduler is destroyed — a flow that went quiet is a signal too.
+  struct FlowStats {
+    std::string tenant;
+    JobClass job_class = JobClass::kAnalyticalScan;
+    size_t queue_depth = 0;
+    uint64_t oldest_queued_age_us = 0;
+  };
+  std::vector<FlowStats> flows;
 };
 
 /// The multi-tenant scheduler. One instance fronts one Executor (whose

@@ -2,22 +2,106 @@
 
 namespace lakeharbor::sim {
 
+namespace {
+
+uint32_t ResolveMaxNodes(const ClusterOptions& options) {
+  if (options.max_nodes != 0) {
+    LH_CHECK_MSG(options.max_nodes >= options.num_nodes,
+                 "max_nodes below initial num_nodes");
+    return options.max_nodes;
+  }
+  const uint32_t doubled = options.num_nodes * 2;
+  return doubled > 64 ? doubled : 64;
+}
+
+}  // namespace
+
 Cluster::Cluster(ClusterOptions options)
-    : options_(options), node_down_(options.num_nodes) {
+    : options_(options),
+      nodes_(ResolveMaxNodes(options)),
+      node_down_(ResolveMaxNodes(options)),
+      node_removed_(ResolveMaxNodes(options)),
+      timing_enabled_(options.disk.timing_enabled) {
   LH_CHECK_MSG(options.num_nodes > 0, "cluster needs at least one node");
-  nodes_.reserve(options.num_nodes);
   for (NodeId id = 0; id < options.num_nodes; ++id) {
-    DiskOptions disk = options.disk;
-    // Independent per-node fault streams from one cluster-level seed.
-    disk.faults.seed = options.disk.faults.seed + id;
-    nodes_.push_back(std::make_unique<Node>(id, disk));
+    InitNodeSlot(id);
   }
   network_ = std::make_unique<Network>(options.network);
+  num_nodes_.store(options.num_nodes, std::memory_order_release);
+}
+
+void Cluster::InitNodeSlot(NodeId id) {
+  DiskOptions disk = options_.disk;
+  // Independent per-node fault streams from one cluster-level seed.
+  disk.faults.seed = options_.disk.faults.seed + id;
+  disk.timing_enabled = timing_enabled_;
+  nodes_[id] = std::make_unique<Node>(id, disk);
+  if (fault_knobs_set_) {
+    FaultOptions per_node = current_disk_faults_;
+    per_node.seed = current_disk_faults_.seed + id;
+    nodes_[id]->disk().ConfigureFaults(per_node);
+  }
+}
+
+StatusOr<NodeId> Cluster::AddNode() {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  const uint32_t id = num_nodes_.load(std::memory_order_relaxed);
+  if (id >= nodes_.size()) {
+    return Status::ResourceExhausted(
+        "cluster at max_nodes capacity (" + std::to_string(nodes_.size()) +
+        "); raise ClusterOptions::max_nodes");
+  }
+  InitNodeSlot(id);
+  // Release-publish AFTER the slot is fully constructed: a reader that
+  // observes num_nodes() > id is guaranteed to see the node.
+  num_nodes_.store(id + 1, std::memory_order_release);
+  return static_cast<NodeId>(id);
+}
+
+Status Cluster::RemoveNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  if (id >= num_nodes_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("RemoveNode: unknown node " +
+                                   std::to_string(id));
+  }
+  if (node_removed_[id].load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("RemoveNode: node " + std::to_string(id) +
+                                   " already removed");
+  }
+  if (num_active_nodes() <= 1) {
+    return Status::InvalidArgument(
+        "RemoveNode: refusing to remove the last active node");
+  }
+  // Order matters for readers that consult NodeIsDown before charging: the
+  // disk rejects first, then the membership flag flips. Either way the
+  // node can no longer serve.
+  nodes_[id]->disk().SetOutage(true);
+  node_removed_[id].store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+std::vector<NodeId> Cluster::ActiveNodeIds() const {
+  const uint32_t n = num_nodes();
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!node_removed_[id].load(std::memory_order_acquire)) ids.push_back(id);
+  }
+  return ids;
+}
+
+uint32_t Cluster::num_active_nodes() const {
+  const uint32_t n = num_nodes();
+  uint32_t active = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!node_removed_[id].load(std::memory_order_acquire)) ++active;
+  }
+  return active;
 }
 
 Status Cluster::ChargeRandomRead(NodeId compute_node, NodeId storage_node,
                                  size_t bytes) {
-  LH_CHECK(storage_node < nodes_.size());
+  LH_CHECK(storage_node < num_nodes());
   LH_RETURN_NOT_OK(nodes_[storage_node]->disk().RandomRead(bytes));
   if (compute_node != storage_node) {
     LH_RETURN_NOT_OK(network_->Transfer(bytes));
@@ -27,7 +111,7 @@ Status Cluster::ChargeRandomRead(NodeId compute_node, NodeId storage_node,
 
 Status Cluster::ChargeBatchRead(NodeId compute_node, NodeId storage_node,
                                 size_t ops, size_t bytes) {
-  LH_CHECK(storage_node < nodes_.size());
+  LH_CHECK(storage_node < num_nodes());
   if (ops == 0) return Status::OK();
   LH_RETURN_NOT_OK(nodes_[storage_node]->disk().BatchRandomRead(ops, bytes));
   if (compute_node != storage_node) {
@@ -38,7 +122,7 @@ Status Cluster::ChargeBatchRead(NodeId compute_node, NodeId storage_node,
 
 Status Cluster::ChargeSequentialRead(NodeId compute_node, NodeId storage_node,
                                      size_t bytes) {
-  LH_CHECK(storage_node < nodes_.size());
+  LH_CHECK(storage_node < num_nodes());
   LH_RETURN_NOT_OK(nodes_[storage_node]->disk().SequentialRead(bytes));
   if (compute_node != storage_node) {
     LH_RETURN_NOT_OK(network_->Transfer(bytes));
@@ -48,7 +132,7 @@ Status Cluster::ChargeSequentialRead(NodeId compute_node, NodeId storage_node,
 
 Status Cluster::ChargeWrite(NodeId compute_node, NodeId storage_node,
                             size_t bytes) {
-  LH_CHECK(storage_node < nodes_.size());
+  LH_CHECK(storage_node < num_nodes());
   if (compute_node != storage_node) {
     LH_RETURN_NOT_OK(network_->Transfer(bytes));
   }
@@ -59,7 +143,16 @@ Status Cluster::ChargeReplicatedWrite(NodeId compute_node,
                                       const std::vector<NodeId>& replicas,
                                       size_t bytes) {
   for (NodeId storage_node : replicas) {
-    LH_RETURN_NOT_OK(ChargeWrite(compute_node, storage_node, bytes));
+    // A removed node cannot accept writes — surface it as kUnavailable
+    // with the node named, instead of silently charging a ghost disk.
+    if (storage_node < num_nodes() && NodeIsRemoved(storage_node)) {
+      return Status::Unavailable("replica write to removed node " +
+                                 std::to_string(storage_node));
+    }
+    LH_RETURN_NOT_OK(
+        ChargeWrite(compute_node, storage_node, bytes)
+            .WithContext("replica write to node " +
+                         std::to_string(storage_node)));
   }
   return Status::OK();
 }
@@ -74,25 +167,33 @@ Status Cluster::ChargeMessage(NodeId from, NodeId to, size_t bytes) {
 
 ResourceTotals Cluster::TotalStats() const {
   ResourceTotals total;
-  for (const auto& node : nodes_) {
-    total.Merge(node->disk().stats());
+  const uint32_t n = num_nodes();
+  for (uint32_t id = 0; id < n; ++id) {
+    total.Merge(nodes_[id]->disk().stats());
   }
   total.Merge(network_->stats());
   return total;
 }
 
 void Cluster::SetTimingEnabled(bool enabled) {
-  for (auto& node : nodes_) {
-    node->disk().SetTimingEnabled(enabled);
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  timing_enabled_ = enabled;
+  const uint32_t n = num_nodes();
+  for (uint32_t id = 0; id < n; ++id) {
+    nodes_[id]->disk().SetTimingEnabled(enabled);
   }
   network_->SetTimingEnabled(enabled);
 }
 
 void Cluster::ConfigureDiskFaults(const FaultOptions& faults) {
-  for (auto& node : nodes_) {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  current_disk_faults_ = faults;
+  fault_knobs_set_ = true;
+  const uint32_t n = num_nodes();
+  for (uint32_t id = 0; id < n; ++id) {
     FaultOptions per_node = faults;
-    per_node.seed = faults.seed + node->id();
-    node->disk().ConfigureFaults(per_node);
+    per_node.seed = faults.seed + id;
+    nodes_[id]->disk().ConfigureFaults(per_node);
   }
 }
 
@@ -101,14 +202,15 @@ void Cluster::ConfigureNetworkFaults(const FaultOptions& faults) {
 }
 
 void Cluster::SetNodeOutage(NodeId id, bool down) {
-  LH_CHECK(id < nodes_.size());
+  LH_CHECK(id < num_nodes());
   node_down_[id].store(down, std::memory_order_relaxed);
   nodes_[id]->disk().SetOutage(down);
 }
 
 void Cluster::ResetStats() {
-  for (auto& node : nodes_) {
-    node->disk().mutable_stats().Reset();
+  const uint32_t n = num_nodes();
+  for (uint32_t id = 0; id < n; ++id) {
+    nodes_[id]->disk().mutable_stats().Reset();
   }
   network_->mutable_stats().Reset();
 }

@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/status_or.h"
 #include "sim/disk.h"
 #include "sim/network.h"
 #include "sim/resource_stats.h"
@@ -39,6 +41,12 @@ struct ClusterOptions {
   DiskOptions disk;
   NetworkOptions network;
 
+  /// Upper bound on nodes this cluster can ever hold (initial + joins).
+  /// 0 means "auto": max(num_nodes * 2, 64). The bound exists because node
+  /// slots are pre-allocated so that concurrent readers never race a vector
+  /// reallocation when a node joins mid-run.
+  uint32_t max_nodes = 0;
+
   /// Default options with a given node count (counting mode — no timing).
   static ClusterOptions ForNodes(uint32_t n) {
     ClusterOptions options;
@@ -60,18 +68,68 @@ struct ClusterOptions {
 /// Storage-layer code asks the cluster to charge device costs: a read of a
 /// record in partition P placed on node N, issued from node M, costs one
 /// random read on N's disk plus a network hop when M != N.
+///
+/// Membership is elastic: `AddNode` registers a node online (ids are dense
+/// and never reused) and `RemoveNode` decommissions one. Node slots are
+/// pre-sized to `max_nodes` at construction and published with a
+/// release-store on `num_nodes_`, so readers holding an id < num_nodes()
+/// can use it lock-free while a join runs concurrently. Removal is
+/// drain-first: callers (the rebalancer) migrate data away while the node
+/// still serves, and only then call RemoveNode — after which the node
+/// reads/writes/messages fail kUnavailable exactly like an outage, but
+/// permanently.
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
   LH_DISALLOW_COPY_AND_ASSIGN(Cluster);
 
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  /// Registered nodes (including decommissioned ones — ids stay dense).
+  uint32_t num_nodes() const {
+    return num_nodes_.load(std::memory_order_acquire);
+  }
+  uint32_t max_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
   Node& node(NodeId id) {
-    LH_CHECK(id < nodes_.size());
+    LH_CHECK(id < num_nodes());
     return *nodes_[id];
   }
   Network& network() { return *network_; }
   const ClusterOptions& options() const { return options_; }
+
+  /// Register one new node online. Its disk inherits the cluster's disk
+  /// options, the currently configured fault knobs (with a per-node derived
+  /// seed) and timing mode. Returns the new dense id, or kResourceExhausted
+  /// when the pre-sized capacity (`ClusterOptions::max_nodes`) is full.
+  StatusOr<NodeId> AddNode();
+
+  /// Decommission a node: it permanently leaves the serving set. All
+  /// charges against it fail kUnavailable from this call on, NodeIsDown()
+  /// reports it down (so replica failover skips it), and ActiveNodeIds()
+  /// excludes it. The id is never reused. Callers drain data off the node
+  /// FIRST (see io::Rebalancer) — removing an undrained rf=1 node loses
+  /// the only copy.
+  Status RemoveNode(NodeId id);
+
+  /// True when `id` was decommissioned via RemoveNode.
+  bool NodeIsRemoved(NodeId id) const {
+    LH_CHECK(id < node_removed_.size());
+    return node_removed_[id].load(std::memory_order_acquire);
+  }
+
+  /// Ids of registered, non-removed nodes, ascending. This is the member
+  /// list new PlacementMaps are built from.
+  std::vector<NodeId> ActiveNodeIds() const;
+  uint32_t num_active_nodes() const;
+
+  /// Monotonic placement-epoch counter, bumped once per committed
+  /// rebalance (io::Rebalancer). Executors stamp it on broadcast tuples at
+  /// fan-out so every node of one job resolves broadcast ownership against
+  /// the SAME placement snapshot even when a commit races the run.
+  uint64_t placement_epoch() const {
+    return placement_epoch_.load(std::memory_order_acquire);
+  }
+  uint64_t AdvancePlacementEpoch() {
+    return placement_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
 
   /// Charge one random record read of `bytes` stored on `storage_node`,
   /// issued by code running on `compute_node`.
@@ -96,7 +154,10 @@ class Cluster {
   /// Charge a replicated write: the payload is written to EVERY replica
   /// node (disk write each, plus a transfer per remote replica). This is
   /// the ingest-side cost of replication_factor > 1 — durability is paid
-  /// for up front, not discovered at failover time.
+  /// for up front, not discovered at failover time. Replicas are charged
+  /// in list order and the first failure aborts the remainder; the error
+  /// names the failing node so callers can tell a removed/downed replica
+  /// from a transient fault.
   Status ChargeReplicatedWrite(NodeId compute_node,
                                const std::vector<NodeId>& replicas,
                                size_t bytes);
@@ -113,13 +174,14 @@ class Cluster {
 
   /// Toggle timing simulation on every device at runtime. Loading and
   /// structure builds typically run untimed; only measured query phases
-  /// pay simulated latencies.
+  /// pay simulated latencies. Nodes joining later inherit the last value.
   void SetTimingEnabled(bool enabled);
 
   /// Install the same probabilistic fault knobs on every node's disk and
   /// rewind each deterministic fault stream (benches sweep the rate
   /// between measured phases). Per-node disk seeds are derived from
-  /// `faults.seed` + node id so that nodes fault independently.
+  /// `faults.seed` + node id so that nodes fault independently. Nodes
+  /// joining later inherit the last configured knobs.
   void ConfigureDiskFaults(const FaultOptions& faults);
 
   /// Install fault knobs on the interconnect.
@@ -129,16 +191,36 @@ class Cluster {
   /// message to or from it fail with kUnavailable — the whole-node failure
   /// mode a production lake must survive.
   void SetNodeOutage(NodeId id, bool down);
+
+  /// Down = in an outage window OR decommissioned. Failover paths treat
+  /// both the same way: skip the node, serve from another replica.
   bool NodeIsDown(NodeId id) const {
     LH_CHECK(id < node_down_.size());
-    return node_down_[id].load(std::memory_order_relaxed);
+    return node_down_[id].load(std::memory_order_relaxed) ||
+           node_removed_[id].load(std::memory_order_relaxed);
   }
 
  private:
+  /// Build and install the node for slot `id` (membership lock held).
+  void InitNodeSlot(NodeId id);
+
   ClusterOptions options_;
+  /// Pre-sized to max_nodes; slots [0, num_nodes_) are populated. The
+  /// vector itself never reallocates, which is what makes concurrent
+  /// lock-free reads of registered slots safe during AddNode.
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Network> network_;
   std::vector<std::atomic<bool>> node_down_;
+  std::vector<std::atomic<bool>> node_removed_;
+  std::atomic<uint32_t> num_nodes_{0};
+  std::atomic<uint64_t> placement_epoch_{0};
+
+  /// Guards membership changes and the "current knobs" below, which late
+  /// joiners inherit.
+  mutable std::mutex membership_mutex_;
+  FaultOptions current_disk_faults_;
+  bool fault_knobs_set_ = false;
+  bool timing_enabled_;
 };
 
 }  // namespace lakeharbor::sim

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "io/key_codec.h"
 #include "tpch/schema.h"
@@ -27,6 +28,14 @@ StatusOr<std::shared_ptr<FileT>> LoadTable(
       name, std::make_shared<io::HashPartitioner>(partitions),
       &engine.cluster(), fanout);
   file->SetReplicationFactor(replication_factor);
+  if (const io::PlacementMap placement = file->placement();
+      placement.clamped()) {
+    LH_LOG_WARN << "tpch loader: file '" << name << "' requested rf "
+                << placement.requested_replication_factor()
+                << " but runs with effective rf "
+                << placement.replication_factor() << " ("
+                << placement.num_nodes() << " active nodes)";
+  }
   for (const std::string& row : rows) {
     LH_ASSIGN_OR_RETURN(std::string key, EncodedIntField(row, key_field));
     std::string in_key = key;
